@@ -1,0 +1,131 @@
+// Top-level benchmarks: one Benchmark per figure in the paper's evaluation
+// (each wraps the corresponding internal/bench driver on a reduced sweep and
+// prints the full table), plus end-to-end micro-benchmarks of the public
+// API. Run the complete, full-size reproduction with:
+//
+//	go run ./cmd/dpr-bench -duration 5s all
+//
+// and see EXPERIMENTS.md for paper-vs-measured results.
+package dpr_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"dpr"
+	"dpr/internal/bench"
+)
+
+func benchOpts(b *testing.B) bench.Options {
+	return bench.Options{
+		Out:      os.Stdout,
+		Duration: 300 * time.Millisecond,
+		Keys:     1 << 14,
+		Short:    true,
+	}
+}
+
+func runFigure(b *testing.B, fn func(bench.Options) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(benchOpts(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10ScaleOut(b *testing.B)          { runFigure(b, bench.Fig10) }
+func BenchmarkFig11ScaleUp(b *testing.B)           { runFigure(b, bench.Fig11) }
+func BenchmarkFig12Latency(b *testing.B)           { runFigure(b, bench.Fig12) }
+func BenchmarkFig13ThroughputLatency(b *testing.B) { runFigure(b, bench.Fig13) }
+func BenchmarkFig14StorageBackends(b *testing.B)   { runFigure(b, bench.Fig14) }
+func BenchmarkFig15CoLocation(b *testing.B)        { runFigure(b, bench.Fig15) }
+func BenchmarkFig16Recovery(b *testing.B)          { runFigure(b, bench.Fig16) }
+func BenchmarkFig17DRedisThroughput(b *testing.B)  { runFigure(b, bench.Fig17) }
+func BenchmarkFig18DRedisLatency(b *testing.B)     { runFigure(b, bench.Fig18) }
+func BenchmarkFig19Recoverability(b *testing.B)    { runFigure(b, bench.Fig19) }
+func BenchmarkAblationFinders(b *testing.B)        { runFigure(b, bench.AblationFinders) }
+func BenchmarkAblationStrictRelaxed(b *testing.B)  { runFigure(b, bench.AblationStrictVsRelaxed) }
+
+// BenchmarkSessionPut measures the public-API write path end to end
+// (co-located, batch 1): the operation-completion cost DPR promises to keep
+// at memory speed.
+func BenchmarkSessionPut(b *testing.B) {
+	c, err := dpr.NewCluster(dpr.ClusterConfig{Shards: 1, CheckpointInterval: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.NewColocatedSession(0, dpr.SessionConfig{BatchSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	key := []byte("bench-key")
+	val := []byte("bench-val")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s.Drain()
+}
+
+// BenchmarkSessionPutRemote measures the networked write path with the
+// paper's default batching (b=64, pipelined).
+func BenchmarkSessionPutRemote(b *testing.B) {
+	c, err := dpr.NewCluster(dpr.ClusterConfig{Shards: 2, CheckpointInterval: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.NewSession(dpr.SessionConfig{BatchSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([][]byte, 256)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%03d", i))
+	}
+	val := []byte("bench-val")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(keys[i%len(keys)], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s.Drain()
+}
+
+// BenchmarkSessionGet measures the co-located read path.
+func BenchmarkSessionGet(b *testing.B) {
+	c, err := dpr.NewCluster(dpr.ClusterConfig{Shards: 1, CheckpointInterval: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.NewColocatedSession(0, dpr.SessionConfig{BatchSize: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	s.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get([]byte("k")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// dpr-cli is an interactive client for a D-FASTER cluster: it connects to a
+// dpr-finder, opens a DPR session, and exposes get/put/del/add plus
+// commit-status commands. Useful for poking at a multi-process deployment
+// started with dpr-finder + dpr-server.
+//
+// Usage:
+//
+//	dpr-cli -finder 127.0.0.1:7700 -partitions 64
+//
+// Commands:
+//
+//	put <key> <value>     write (completes immediately, commits lazily)
+//	get <key>             read
+//	del <key>             delete
+//	add <key> <n>         atomic uint64 add
+//	status                committed prefix / exceptions / last seq
+//	wait                  block until everything issued so far commits
+//	cut                   print the current DPR cut
+//	quit
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/dfaster"
+	"dpr/internal/metadata"
+	"dpr/internal/wire"
+)
+
+func main() {
+	finderAddr := flag.String("finder", "127.0.0.1:7700", "dpr-finder RPC address")
+	partitions := flag.Int("partitions", 64, "cluster-wide virtual partition count")
+	batch := flag.Int("b", 1, "batch size")
+	flag.Parse()
+
+	meta, err := metadata.Dial(*finderAddr)
+	if err != nil {
+		log.Fatalf("dial finder: %v", err)
+	}
+	defer meta.Close()
+	client, err := dfaster.NewClient(dfaster.ClientConfig{
+		Partitions: *partitions, BatchSize: *batch, Window: 64 * *batch, Relaxed: true,
+	}, meta)
+	if err != nil {
+		log.Fatalf("open session: %v", err)
+	}
+	defer client.Close()
+	fmt.Printf("connected; session %d\n", client.Session().ID())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if quit := execute(client, meta, fields); quit {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func execute(client *dfaster.Client, meta metadata.Service, fields []string) bool {
+	defer handleFailure(client)
+	switch fields[0] {
+	case "quit", "exit":
+		return true
+	case "put":
+		if len(fields) != 3 {
+			fmt.Println("usage: put <key> <value>")
+			return false
+		}
+		check(client.Upsert([]byte(fields[1]), []byte(fields[2]), nil))
+		check(client.Drain())
+		fmt.Println("OK (completed; committing lazily)")
+	case "get":
+		if len(fields) != 2 {
+			fmt.Println("usage: get <key>")
+			return false
+		}
+		done := make(chan string, 1)
+		check(client.Read([]byte(fields[1]), func(r wire.OpResult) {
+			switch r.Status {
+			case wire.StatusOK:
+				done <- fmt.Sprintf("%q (raw: %s)", r.Value, decodeU64(r.Value))
+			case wire.StatusNotFound:
+				done <- "(not found)"
+			default:
+				done <- "(error)"
+			}
+		}))
+		check(client.Flush())
+		select {
+		case msg := <-done:
+			fmt.Println(msg)
+		case <-time.After(10 * time.Second):
+			fmt.Println("(timed out)")
+		}
+	case "del":
+		if len(fields) != 2 {
+			fmt.Println("usage: del <key>")
+			return false
+		}
+		check(client.Delete([]byte(fields[1]), nil))
+		check(client.Drain())
+		fmt.Println("OK")
+	case "add":
+		if len(fields) != 3 {
+			fmt.Println("usage: add <key> <n>")
+			return false
+		}
+		n, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			fmt.Println("bad number:", err)
+			return false
+		}
+		check(client.RMW([]byte(fields[1]), n, nil))
+		check(client.Drain())
+		fmt.Println("OK")
+	case "status":
+		p, exc := client.Committed()
+		fmt.Printf("committed prefix: %d / %d issued; exceptions: %v\n", p, client.LastSeq(), exc)
+	case "wait":
+		if err := client.WaitCommitAll(30 * time.Second); err != nil {
+			fmt.Println("wait:", err)
+		} else {
+			fmt.Println("all committed")
+		}
+	case "cut":
+		cut, vmax, wl, err := meta.State()
+		if err != nil {
+			fmt.Println("state:", err)
+		} else {
+			fmt.Printf("cut=%v vmax=%d world-line=%d\n", cut, vmax, wl)
+		}
+	default:
+		fmt.Println("commands: put get del add status wait cut quit")
+	}
+	return false
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
+func handleFailure(client *dfaster.Client) {
+	err := client.Err()
+	var surv *core.SurvivalError
+	if errors.As(err, &surv) {
+		fmt.Printf("!! failure: world-line %d, surviving prefix %d, exceptions %v\n",
+			surv.WorldLine, surv.SurvivingPrefix, surv.Exceptions)
+		client.Acknowledge()
+	}
+}
+
+// decodeU64 renders an 8-byte counter value.
+func decodeU64(b []byte) string {
+	if len(b) == 8 {
+		return fmt.Sprintf("%d", binary.LittleEndian.Uint64(b))
+	}
+	return string(b)
+}

@@ -1,0 +1,93 @@
+// dpr-finder hosts the DPR metadata services (paper §5.3) for a
+// multi-process deployment: the DPR table and cut finder (§3.3-3.4), cluster
+// membership, key ownership, and the recovery coordinator (§4.1). Workers
+// (dpr-server) and clients (dpr-cli) connect over net/rpc.
+//
+// Failure handling: workers heartbeat periodically; when one goes silent the
+// coordinator deregisters it, freezes DPR progress, assigns the next
+// world-line, waits for all surviving workers to acknowledge their
+// rollbacks, and resumes progress.
+//
+// Usage:
+//
+//	dpr-finder -listen 127.0.0.1:7700 -finder approximate -hb-timeout 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dpr/internal/metadata"
+	"dpr/internal/storage"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "address to serve the metadata RPC on")
+	finderKind := flag.String("finder", "approximate", "cut algorithm: exact | approximate | hybrid")
+	latency := flag.Duration("latency", 0, "injected per-call latency (simulates a remote SQL DB)")
+	dataDir := flag.String("data", "", "directory for durable metadata snapshots (empty = memory only)")
+	hbCheck := flag.Duration("hb-check", 500*time.Millisecond, "heartbeat scan interval")
+	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "heartbeat timeout before a worker is declared failed")
+	ackTimeout := flag.Duration("ack-timeout", 10*time.Second, "how long recovery waits for rollback acks")
+	flag.Parse()
+
+	var kind metadata.FinderKind
+	switch *finderKind {
+	case "exact":
+		kind = metadata.FinderExact
+	case "hybrid":
+		kind = metadata.FinderHybrid
+	case "approximate":
+		kind = metadata.FinderApproximate
+	default:
+		fmt.Fprintf(os.Stderr, "unknown finder %q\n", *finderKind)
+		os.Exit(2)
+	}
+
+	cfg := metadata.Config{Finder: kind, AccessLatency: *latency}
+	if *dataDir != "" {
+		dev, err := storage.NewFileDevice(*dataDir)
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		defer dev.Close()
+		cfg.Device = dev
+	}
+	store := metadata.NewStore(cfg)
+	svc, ln, err := metadata.Serve(store, *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("dpr-finder serving on %s (finder=%s)", ln.Addr(), kind)
+
+	// Failure detection + recovery coordination loop.
+	ticker := time.NewTicker(*hbCheck)
+	defer ticker.Stop()
+	for range ticker.C {
+		silent := svc.Silent(*hbTimeout)
+		if len(silent) == 0 {
+			continue
+		}
+		log.Printf("workers failed (no heartbeat): %v — beginning recovery", silent)
+		for _, w := range silent {
+			if err := store.DeregisterWorker(w); err != nil {
+				log.Printf("deregister %d: %v", w, err)
+			}
+		}
+		wl, cut := store.BeginRecovery()
+		log.Printf("world-line %d, rolling cluster back to cut %v", wl, cut)
+		deadline := time.Now().Add(*ackTimeout)
+		for !store.AllAcked(wl) {
+			if time.Now().After(deadline) {
+				log.Printf("recovery ack timeout; resuming anyway (laggards self-heal)")
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		store.CompleteRecovery()
+		log.Printf("recovery into world-line %d complete; DPR progress resumed", wl)
+	}
+}

@@ -1,0 +1,164 @@
+// dpr-server runs one D-FASTER worker process (paper §5): a FasterKV shard
+// wrapped with libDPR, serving the batched wire protocol on a TCP port and
+// coordinating through a dpr-finder metadata service. On restart after a
+// crash it recovers the shard from its on-disk checkpoint at the position
+// the DPR cut dictates.
+//
+// Usage:
+//
+//	dpr-server -id 1 -listen 127.0.0.1:7801 -finder 127.0.0.1:7700 \
+//	           -data /var/lib/dpr/worker1 -partitions 64 -own 0,2,4,...
+package main
+
+import (
+	"flag"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/dfaster"
+	"dpr/internal/kv"
+	"dpr/internal/metadata"
+	"dpr/internal/storage"
+)
+
+func main() {
+	id := flag.Uint("id", 1, "worker id (unique across the cluster)")
+	listen := flag.String("listen", "127.0.0.1:0", "address to serve clients on")
+	finderAddr := flag.String("finder", "127.0.0.1:7700", "dpr-finder RPC address")
+	dataDir := flag.String("data", "", "durable storage directory (empty = in-memory device)")
+	partitions := flag.Int("partitions", 64, "cluster-wide virtual partition count")
+	own := flag.String("own", "", "comma-separated partitions to claim (empty = id-strided)")
+	ckpt := flag.Duration("checkpoint", 100*time.Millisecond, "commit (checkpoint) interval")
+	memBudget := flag.Int64("mem-budget", 0, "in-memory log budget in bytes (0 = unbounded)")
+	hbEvery := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
+	recover := flag.Bool("recover", false, "recover shard state from the data directory")
+	flag.Parse()
+
+	meta, err := metadata.Dial(*finderAddr)
+	if err != nil {
+		log.Fatalf("dial finder: %v", err)
+	}
+	defer meta.Close()
+
+	var device storage.Device
+	if *dataDir != "" {
+		fd, err := storage.NewFileDevice(*dataDir)
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		defer fd.Close()
+		device = fd
+	} else {
+		device = storage.NewNull()
+	}
+
+	workerID := core.WorkerID(*id)
+	kvCfg := kv.Config{BucketCount: 1 << 18, MemoryBudget: *memBudget}
+
+	if *recover {
+		// Restart path (§4.1): the cluster manager restarts failed servers
+		// and restores them to their latest guaranteed checkpoint; the DPR
+		// cut tells us which version that is.
+		cut, _, _, err := meta.State()
+		if err != nil {
+			log.Fatalf("fetch cut for recovery: %v", err)
+		}
+		target := cut.Get(workerID)
+		log.Printf("recovering worker %d to version %d", workerID, target)
+		store, err := kv.Recover(device, kvCfg, target)
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		// The recovered store is adopted by the worker below through the
+		// same code path; kv.Recover already positioned it. We wrap it
+		// manually since dfaster.NewWorker builds its own store.
+		runRecovered(store, workerID, *listen, *finderAddr, *own, *partitions, *ckpt, *hbEvery, device)
+		return
+	}
+
+	w, err := dfaster.NewWorker(dfaster.WorkerConfig{
+		ID:                 workerID,
+		ListenAddr:         *listen,
+		CheckpointInterval: *ckpt,
+		Partitions:         *partitions,
+		Device:             device,
+		KV:                 kvCfg,
+	}, meta)
+	if err != nil {
+		log.Fatalf("start worker: %v", err)
+	}
+	defer w.Stop()
+	claim(w, *own, *partitions, int(*id))
+	log.Printf("dpr-server %d serving on %s", workerID, w.Addr())
+	heartbeatLoop(meta, workerID, *hbEvery)
+}
+
+// claim registers partition ownership: an explicit list, or every partition
+// congruent to id-1 modulo the worker count heuristic (strided default).
+func claim(w *dfaster.Worker, own string, partitions, id int) {
+	var ps []uint64
+	if own != "" {
+		for _, s := range strings.Split(own, ",") {
+			p, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				log.Fatalf("bad partition %q: %v", s, err)
+			}
+			ps = append(ps, p)
+		}
+	} else {
+		// Strided default for homogeneous launches: worker k of n claims
+		// partitions ≡ k-1 (mod n) once all workers have registered. With
+		// a single worker this claims everything.
+		for p := 0; p < partitions; p++ {
+			ps = append(ps, uint64(p))
+		}
+		log.Printf("no -own list; claiming all %d partitions (single-worker default)", partitions)
+	}
+	if err := w.ClaimPartitions(ps...); err != nil {
+		log.Fatalf("claim partitions: %v", err)
+	}
+}
+
+func heartbeatLoop(meta *metadata.RPCClient, id core.WorkerID, every time.Duration) {
+	// Heartbeat immediately so the failure detector knows this worker from
+	// its very first moment — a worker that dies before its first ticker
+	// fire must still be detected.
+	if err := meta.Heartbeat(id); err != nil {
+		log.Printf("heartbeat: %v", err)
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		if err := meta.Heartbeat(id); err != nil {
+			log.Printf("heartbeat: %v", err)
+		}
+	}
+}
+
+// runRecovered serves a pre-recovered store. It mirrors dfaster.NewWorker's
+// assembly but injects the recovered kv instance via the libDPR layer.
+func runRecovered(store *kv.Store, id core.WorkerID, listen, finderAddr, own string,
+	partitions int, ckpt, hbEvery time.Duration, device storage.Device) {
+	meta, err := metadata.Dial(finderAddr)
+	if err != nil {
+		log.Fatalf("dial finder: %v", err)
+	}
+	defer meta.Close()
+	w, err := dfaster.AdoptWorker(dfaster.WorkerConfig{
+		ID:                 id,
+		ListenAddr:         listen,
+		CheckpointInterval: ckpt,
+		Partitions:         partitions,
+		Device:             device,
+	}, store, meta)
+	if err != nil {
+		log.Fatalf("adopt recovered store: %v", err)
+	}
+	defer w.Stop()
+	claim(w, own, partitions, int(id))
+	log.Printf("dpr-server %d recovered and serving on %s", id, w.Addr())
+	heartbeatLoop(meta, id, hbEvery)
+}

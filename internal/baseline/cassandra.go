@@ -1,0 +1,232 @@
+// Package baseline implements the Cassandra-like comparison system of the
+// paper's Figure 19 study: an LSM-flavoured store (memtable + commit log)
+// whose commit log can run in Cassandra's two durability modes —
+// `periodic` (eventual recoverability: operations return before the log
+// syncs) and `group`/`batch` (synchronous recoverability: operations block
+// until their log segment is durable). Replication is disabled, as in the
+// paper's configuration.
+package baseline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"dpr/internal/storage"
+)
+
+// CommitLogMode mirrors Cassandra's commitlog_sync options.
+type CommitLogMode uint8
+
+const (
+	// SyncNone disables the commit log entirely (not recoverable).
+	SyncNone CommitLogMode = iota
+	// SyncPeriodic syncs the commit log in the background; operations
+	// return immediately (eventual recoverability).
+	SyncPeriodic
+	// SyncGroup blocks each write until its log batch is durable
+	// (synchronous recoverability).
+	SyncGroup
+)
+
+func (m CommitLogMode) String() string {
+	switch m {
+	case SyncNone:
+		return "none"
+	case SyncPeriodic:
+		return "periodic"
+	default:
+		return "group"
+	}
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	Device storage.Device
+	Blob   string
+	Mode   CommitLogMode
+	// GroupWindow batches concurrent synchronous writers into one log sync
+	// (Cassandra's commitlog_sync_group_window); default 1ms.
+	GroupWindow time.Duration
+	// PeriodicInterval is the background sync cadence for SyncPeriodic;
+	// default 10ms (Cassandra defaults to 10s; scaled for benchmarks).
+	PeriodicInterval time.Duration
+}
+
+// Store is one baseline shard.
+type Store struct {
+	cfg Config
+
+	mu  sync.RWMutex
+	mem map[string][]byte
+
+	logMu     sync.Mutex
+	logBuf    bytes.Buffer
+	logOffset int64
+
+	groupMu      sync.Mutex
+	groupWaiters []chan error
+	groupTimer   *time.Timer
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a baseline store.
+func New(cfg Config) *Store {
+	if cfg.Blob == "" {
+		cfg.Blob = "commitlog"
+	}
+	if cfg.GroupWindow <= 0 {
+		cfg.GroupWindow = time.Millisecond
+	}
+	if cfg.PeriodicInterval <= 0 {
+		cfg.PeriodicInterval = 10 * time.Millisecond
+	}
+	s := &Store{cfg: cfg, mem: make(map[string][]byte), stop: make(chan struct{})}
+	if cfg.Mode == SyncPeriodic {
+		s.wg.Add(1)
+		go s.periodicLoop()
+	}
+	return s
+}
+
+// Close stops background syncing.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	if s.cfg.Mode != SyncNone {
+		s.syncLog() // final flush
+	}
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.mem[string(key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Put writes key=value with the configured durability mode.
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	s.mem[string(key)] = append([]byte(nil), value...)
+	s.mu.Unlock()
+	switch s.cfg.Mode {
+	case SyncNone:
+		return nil
+	case SyncPeriodic:
+		s.appendLog(key, value)
+		return nil
+	default: // SyncGroup
+		s.appendLog(key, value)
+		return s.waitGroupSync()
+	}
+}
+
+func (s *Store) appendLog(key, value []byte) {
+	s.logMu.Lock()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(value)))
+	s.logBuf.Write(hdr[:])
+	s.logBuf.Write(key)
+	s.logBuf.Write(value)
+	s.logMu.Unlock()
+}
+
+// waitGroupSync blocks until the caller's log entry is durable, batching
+// concurrent writers into one device write (group commit).
+func (s *Store) waitGroupSync() error {
+	ch := make(chan error, 1)
+	s.groupMu.Lock()
+	s.groupWaiters = append(s.groupWaiters, ch)
+	if s.groupTimer == nil {
+		s.groupTimer = time.AfterFunc(s.cfg.GroupWindow, func() {
+			s.groupMu.Lock()
+			waiters := s.groupWaiters
+			s.groupWaiters = nil
+			s.groupTimer = nil
+			s.groupMu.Unlock()
+			err := s.syncLog()
+			for _, w := range waiters {
+				w <- err
+			}
+		})
+	}
+	s.groupMu.Unlock()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(10 * time.Second):
+		return errors.New("baseline: group sync timed out")
+	}
+}
+
+// syncLog writes the buffered log to the device and waits for durability.
+func (s *Store) syncLog() error {
+	s.logMu.Lock()
+	if s.logBuf.Len() == 0 {
+		s.logMu.Unlock()
+		return nil
+	}
+	data := make([]byte, s.logBuf.Len())
+	copy(data, s.logBuf.Bytes())
+	off := s.logOffset
+	s.logOffset += int64(len(data))
+	s.logBuf.Reset()
+	s.logMu.Unlock()
+	ch := make(chan error, 1)
+	s.cfg.Device.WriteAsync(s.cfg.Blob, off, data, func(err error) { ch <- err })
+	return <-ch
+}
+
+func (s *Store) periodicLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.PeriodicInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			_ = s.syncLog()
+		}
+	}
+}
+
+// Replay rebuilds a memtable from the durable commit log (recovery), used by
+// tests to verify the recoverability levels actually differ.
+func Replay(dev storage.Device, blob string) (map[string][]byte, error) {
+	size := dev.BlobSize(blob)
+	out := make(map[string][]byte)
+	if size == 0 {
+		return out, nil
+	}
+	raw, err := dev.Read(blob, 0, int(size))
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	for off+8 <= len(raw) {
+		kl := int(binary.LittleEndian.Uint32(raw[off:]))
+		vl := int(binary.LittleEndian.Uint32(raw[off+4:]))
+		off += 8
+		if kl == 0 && vl == 0 {
+			break
+		}
+		if off+kl+vl > len(raw) {
+			break // torn tail
+		}
+		out[string(raw[off:off+kl])] = append([]byte(nil), raw[off+kl:off+kl+vl]...)
+		off += kl + vl
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Package cluster implements the cluster manager of paper §4.1: the external
+// entity (Kubernetes / Service Fabric in the paper) that detects failures,
+// assigns world-line serial numbers, restarts failed workers in bounded
+// time, and orchestrates the cluster-wide rollback — temporarily halting DPR
+// progress, telling every worker to roll back to the last DPR cut, and
+// resuming progress after all workers report back.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+)
+
+// RollbackTarget is a worker the manager can command to roll back; both
+// in-process libdpr.Workers and network worker frontends implement it.
+type RollbackTarget interface {
+	ID() core.WorkerID
+	Rollback(wl core.WorldLine, cut core.Cut) error
+}
+
+// Manager coordinates failure recovery across workers.
+type Manager struct {
+	meta *metadata.Store
+
+	mu      sync.Mutex
+	targets map[core.WorkerID]RollbackTarget
+
+	// Recoveries counts completed recovery rounds (diagnostics).
+	recoveries int
+}
+
+// NewManager builds a manager over the metadata store.
+func NewManager(meta *metadata.Store) *Manager {
+	return &Manager{meta: meta, targets: make(map[core.WorkerID]RollbackTarget)}
+}
+
+// Attach registers a worker for rollback orchestration.
+func (m *Manager) Attach(t RollbackTarget) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.targets[t.ID()] = t
+}
+
+// Detach removes a worker (it left the cluster or crashed; a crashed
+// worker's restarted incarnation re-Attaches).
+func (m *Manager) Detach(id core.WorkerID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.targets, id)
+}
+
+// Recoveries returns the number of completed recovery rounds.
+func (m *Manager) Recoveries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recoveries
+}
+
+// OnFailure runs one recovery round in response to a detected failure:
+//
+//  1. Halt DPR progress and assign the next world-line (metadata store).
+//  2. Command every attached worker to roll back to the recovery cut.
+//  3. Resume DPR progress once all workers confirm.
+//
+// Failed workers are expected to be restarted (by the caller / environment)
+// to their checkpoint at the recovery cut before or while survivors roll
+// back; the manager proceeds with whoever is attached. Returns the new
+// world-line and the cut the system recovered to. Safe to call again while
+// a previous recovery is still in flight (nested failures, §7.4): the
+// world-line advances again and workers re-roll to the same frozen cut.
+func (m *Manager) OnFailure() (core.WorldLine, core.Cut, error) {
+	wl, cut := m.meta.BeginRecovery()
+
+	m.mu.Lock()
+	targets := make([]RollbackTarget, 0, len(m.targets))
+	for _, t := range m.targets {
+		targets = append(targets, t)
+	}
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(targets))
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t RollbackTarget) {
+			defer wg.Done()
+			errs[i] = t.Rollback(wl, cut)
+		}(i, t)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return wl, cut, fmt.Errorf("cluster: worker %d rollback: %w", targets[i].ID(), err)
+		}
+	}
+	m.meta.CompleteRecovery()
+	m.mu.Lock()
+	m.recoveries++
+	m.mu.Unlock()
+	return wl, cut, nil
+}
+
+// Detector polls worker liveness and triggers OnFailure automatically. Tests
+// and benchmarks usually inject failures directly; Detector exists for the
+// standalone server deployment.
+type Detector struct {
+	mgr      *Manager
+	interval time.Duration
+
+	mu        sync.Mutex
+	heartbeat map[core.WorkerID]time.Time
+	timeout   time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewDetector builds a detector that declares a worker failed after timeout
+// without a heartbeat and checks every interval.
+func NewDetector(mgr *Manager, interval, timeout time.Duration) *Detector {
+	d := &Detector{
+		mgr:       mgr,
+		interval:  interval,
+		timeout:   timeout,
+		heartbeat: make(map[core.WorkerID]time.Time),
+		stop:      make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.loop()
+	return d
+}
+
+// Heartbeat records a liveness signal from worker w.
+func (d *Detector) Heartbeat(w core.WorkerID) {
+	d.mu.Lock()
+	d.heartbeat[w] = time.Now()
+	d.mu.Unlock()
+}
+
+// Forget stops tracking worker w (clean departure).
+func (d *Detector) Forget(w core.WorkerID) {
+	d.mu.Lock()
+	delete(d.heartbeat, w)
+	d.mu.Unlock()
+}
+
+func (d *Detector) loop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.check()
+		}
+	}
+}
+
+func (d *Detector) check() {
+	now := time.Now()
+	var failed []core.WorkerID
+	d.mu.Lock()
+	for w, hb := range d.heartbeat {
+		if now.Sub(hb) > d.timeout {
+			failed = append(failed, w)
+			delete(d.heartbeat, w)
+		}
+	}
+	d.mu.Unlock()
+	if len(failed) > 0 {
+		for _, w := range failed {
+			d.mgr.Detach(w)
+		}
+		_, _, _ = d.mgr.OnFailure()
+	}
+}
+
+// Stop halts the detector.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+var _ RollbackTarget = (*libdpr.Worker)(nil)

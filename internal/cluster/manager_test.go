@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/metadata"
+)
+
+// fakeTarget records rollback commands.
+type fakeTarget struct {
+	id core.WorkerID
+
+	mu    sync.Mutex
+	calls []core.WorldLine
+	cuts  []core.Cut
+	fail  error
+}
+
+func (f *fakeTarget) ID() core.WorkerID { return f.id }
+func (f *fakeTarget) Rollback(wl core.WorldLine, cut core.Cut) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, wl)
+	f.cuts = append(f.cuts, cut.Clone())
+	return f.fail
+}
+func (f *fakeTarget) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+func TestOnFailureRollsBackAll(t *testing.T) {
+	meta := metadata.NewStore(metadata.Config{Finder: metadata.FinderApproximate})
+	meta.RegisterWorker(1, "a")
+	meta.RegisterWorker(2, "b")
+	meta.ReportVersion(1, 3, nil)
+	meta.ReportVersion(2, 3, nil)
+	mgr := NewManager(meta)
+	a := &fakeTarget{id: 1}
+	b := &fakeTarget{id: 2}
+	mgr.Attach(a)
+	mgr.Attach(b)
+	wl, cut, err := mgr.OnFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl != 1 || cut.Get(1) != 3 {
+		t.Fatalf("wl=%d cut=%v", wl, cut)
+	}
+	if a.callCount() != 1 || b.callCount() != 1 {
+		t.Fatal("all targets must receive a rollback")
+	}
+	if meta.Frozen() {
+		t.Fatal("DPR progress must resume after recovery")
+	}
+	if mgr.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d", mgr.Recoveries())
+	}
+}
+
+func TestOnFailureDetachedTargetSkipped(t *testing.T) {
+	meta := metadata.NewStore(metadata.Config{})
+	mgr := NewManager(meta)
+	a := &fakeTarget{id: 1}
+	mgr.Attach(a)
+	mgr.Detach(1)
+	if _, _, err := mgr.OnFailure(); err != nil {
+		t.Fatal(err)
+	}
+	if a.callCount() != 0 {
+		t.Fatal("detached target must not be called")
+	}
+}
+
+func TestDetectorTriggersRecovery(t *testing.T) {
+	meta := metadata.NewStore(metadata.Config{Finder: metadata.FinderApproximate})
+	meta.RegisterWorker(1, "a")
+	meta.RegisterWorker(2, "b")
+	mgr := NewManager(meta)
+	a := &fakeTarget{id: 1}
+	b := &fakeTarget{id: 2}
+	mgr.Attach(a)
+	mgr.Attach(b)
+	det := NewDetector(mgr, 5*time.Millisecond, 20*time.Millisecond)
+	defer det.Stop()
+	// Both heartbeat for a while...
+	for i := 0; i < 3; i++ {
+		det.Heartbeat(1)
+		det.Heartbeat(2)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mgr.Recoveries() != 0 {
+		t.Fatal("no recovery while everyone heartbeats")
+	}
+	// ...then worker 2 goes silent.
+	deadline := time.Now().Add(2 * time.Second)
+	for mgr.Recoveries() == 0 {
+		det.Heartbeat(1)
+		if time.Now().After(deadline) {
+			t.Fatal("detector never declared the silent worker failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The failed worker was detached; the survivor was rolled back.
+	if a.callCount() == 0 {
+		t.Fatal("survivor must be rolled back")
+	}
+	if b.callCount() != 0 {
+		t.Fatal("failed worker must be detached, not rolled back")
+	}
+}
+
+func TestDetectorForget(t *testing.T) {
+	meta := metadata.NewStore(metadata.Config{})
+	mgr := NewManager(meta)
+	det := NewDetector(mgr, 5*time.Millisecond, 15*time.Millisecond)
+	defer det.Stop()
+	det.Heartbeat(1)
+	det.Forget(1) // clean departure: silence must not trigger recovery
+	time.Sleep(40 * time.Millisecond)
+	if mgr.Recoveries() != 0 {
+		t.Fatal("forgotten worker must not trigger recovery")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import "sync"
+
+// ApproximateFinder implements the approximate algorithm of §3.4:
+// StateObjects write only committed version numbers (dependency information
+// is discarded), and the DPR-cut consists of all tokens at or below Vmin,
+// the smallest persisted version across workers. Correct because the
+// progress rule guarantees no version depends on a larger version; imprecise
+// because it introduces false dependencies between workers that never
+// interacted.
+//
+// The finder also tracks Vmax so lagging workers can fast-forward their next
+// checkpoint and catch up in bounded time.
+type ApproximateFinder struct {
+	mu        sync.Mutex
+	persisted map[WorkerID]Version
+	cut       Cut
+	maxV      Version
+}
+
+// NewApproximateFinder returns an empty ApproximateFinder.
+func NewApproximateFinder() *ApproximateFinder {
+	return &ApproximateFinder{
+		persisted: make(map[WorkerID]Version),
+		cut:       make(Cut),
+	}
+}
+
+// AddWorker registers w; until w reports, the global Vmin is pinned at w's
+// last known version (0 for a fresh worker), exactly like inserting a row
+// with persistedVersion=0 into the paper's dpr table.
+func (f *ApproximateFinder) AddWorker(w WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.persisted[w]; !ok {
+		f.persisted[w] = 0
+	}
+}
+
+// RemoveWorker drops w's row; the cut keeps its last position for w.
+func (f *ApproximateFinder) RemoveWorker(w WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.persisted, w)
+	f.recomputeLocked()
+}
+
+// Report records that w persisted v. Dependency information is discarded.
+func (f *ApproximateFinder) Report(w WorkerID, v Version, _ []Token) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v > f.persisted[w] {
+		f.persisted[w] = v
+	}
+	if v > f.maxV {
+		f.maxV = v
+	}
+	f.recomputeLocked()
+}
+
+// recomputeLocked sets every registered worker's cut position to Vmin
+// (SELECT min(persistedVersion) FROM dpr). Positions never regress: a worker
+// that already reported past an old Vmin keeps its recoverability.
+func (f *ApproximateFinder) recomputeLocked() {
+	if len(f.persisted) == 0 {
+		return
+	}
+	vmin := Version(1<<63 - 1)
+	for _, v := range f.persisted {
+		if v < vmin {
+			vmin = v
+		}
+	}
+	for w := range f.persisted {
+		if vmin > f.cut[w] {
+			f.cut[w] = vmin
+		}
+	}
+}
+
+// CurrentCut returns a copy of the latest cut.
+func (f *ApproximateFinder) CurrentCut() Cut {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut.Clone()
+}
+
+// MaxVersion returns Vmax, the largest persisted version in the table.
+func (f *ApproximateFinder) MaxVersion() Version {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxV
+}

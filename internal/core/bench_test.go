@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkExactFinderReport(b *testing.B) {
+	f := NewExactFinder()
+	const workers = 8
+	for w := WorkerID(1); w <= workers; w++ {
+		f.AddWorker(w)
+	}
+	next := make([]Version, workers+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := WorkerID(i%workers + 1)
+		next[w]++
+		var deps []Token
+		if dw := WorkerID((i+1)%workers + 1); dw != w && next[dw] > 0 {
+			deps = []Token{{Worker: dw, Version: next[dw]}}
+		}
+		f.Report(w, next[w], deps)
+	}
+}
+
+func BenchmarkApproximateFinderReport(b *testing.B) {
+	f := NewApproximateFinder()
+	const workers = 8
+	for w := WorkerID(1); w <= workers; w++ {
+		f.AddWorker(w)
+	}
+	next := make([]Version, workers+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := WorkerID(i%workers + 1)
+		next[w]++
+		f.Report(w, next[w], nil)
+	}
+}
+
+func BenchmarkSessionTrackerOp(b *testing.B) {
+	s := NewSessionTracker(0, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := s.Begin()
+		s.Complete(seq, Token{Worker: 1, Version: Version(i/1000 + 1)})
+		if i%1000 == 999 {
+			s.AdvanceCommitted(Cut{1: Version(i/1000 + 1)})
+		}
+	}
+}
+
+func BenchmarkCutIncludes(b *testing.B) {
+	cut := make(Cut)
+	for w := WorkerID(1); w <= 16; w++ {
+		cut[w] = Version(w * 10)
+	}
+	t := Token{Worker: 9, Version: 80}
+	for i := 0; i < b.N; i++ {
+		if !cut.Includes(t) {
+			b.Fatal("should include")
+		}
+	}
+}
+
+func BenchmarkWorldLineAdmit(b *testing.B) {
+	t := NewWorldLineTracker(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := t.Admit(5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrecedenceGraphClosure(b *testing.B) {
+	for _, depth := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			g := NewPrecedenceGraph()
+			// A chain: (1,i) -> (2,i) -> (1,i-1) -> ...
+			for i := Version(1); i <= Version(depth); i++ {
+				g.Add(Token{Worker: 2, Version: i}, nil)
+				g.Add(Token{Worker: 1, Version: i}, []Token{{Worker: 2, Version: i}})
+			}
+			target := Token{Worker: 1, Version: Version(depth)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := g.DependencySet(target, nil); !ok {
+					b.Fatal("closure must resolve")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import "sync"
+
+// Finder computes DPR-guarantees: it consumes version reports from
+// StateObjects and produces monotonically advancing DPR-cuts (§3.3, §3.4).
+// Implementations must be safe for concurrent use.
+type Finder interface {
+	// Report records that worker w persisted version v, whose execution
+	// observed the given direct dependencies. Reports for the same worker
+	// must arrive in increasing version order.
+	Report(w WorkerID, v Version, deps []Token)
+	// CurrentCut returns the latest known DPR-cut. The returned cut must not
+	// be mutated by the caller.
+	CurrentCut() Cut
+	// MaxVersion returns the largest version any worker has reported (Vmax
+	// in §3.4), which lagging workers use to fast-forward their checkpoints.
+	MaxVersion() Version
+	// AddWorker registers a worker so the cut accounts for it. A cut never
+	// advances past a registered worker that has not reported.
+	AddWorker(w WorkerID)
+	// RemoveWorker deregisters a worker (cluster membership change, §5.3);
+	// its reported versions remain in the cut but it no longer gates
+	// advancement.
+	RemoveWorker(w WorkerID)
+}
+
+// VersionReport is one worker's announcement that a version persisted.
+type VersionReport struct {
+	Worker  WorkerID
+	Version Version
+	Deps    []Token
+}
+
+// ExactFinder implements the exact algorithm of §3.3: it maintains the full
+// precedence graph and advances the cut by finding maximal durable transitive
+// closures. It is precise — the cut includes every token whose closure is
+// durable — at the cost of storing the graph.
+type ExactFinder struct {
+	mu      sync.Mutex
+	graph   *PrecedenceGraph
+	cut     Cut
+	workers map[WorkerID]bool
+	maxV    Version
+	// frontier holds durable tokens not yet in the cut, per worker, in
+	// version order; the finder repeatedly tries to extend each worker's
+	// prefix.
+	frontier map[WorkerID][]Token
+}
+
+// NewExactFinder returns an ExactFinder with an empty history.
+func NewExactFinder() *ExactFinder {
+	return &ExactFinder{
+		graph:    NewPrecedenceGraph(),
+		cut:      make(Cut),
+		workers:  make(map[WorkerID]bool),
+		frontier: make(map[WorkerID][]Token),
+	}
+}
+
+// AddWorker registers w.
+func (f *ExactFinder) AddWorker(w WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.workers[w] {
+		f.workers[w] = true
+		if _, ok := f.cut[w]; !ok {
+			f.cut[w] = 0
+		}
+	}
+}
+
+// RemoveWorker deregisters w.
+func (f *ExactFinder) RemoveWorker(w WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.workers, w)
+}
+
+// Report records a persisted version and immediately attempts to advance the
+// cut. The paper's coordinator runs FindDpr periodically; folding the scan
+// into Report keeps the finder deterministic for testing while performing
+// the same computation.
+func (f *ExactFinder) Report(w WorkerID, v Version, deps []Token) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.workers[w] = true
+	t := Token{Worker: w, Version: v}
+	f.graph.Add(t, deps)
+	f.frontier[w] = append(f.frontier[w], t)
+	if v > f.maxV {
+		f.maxV = v
+	}
+	f.advanceLocked()
+}
+
+// advanceLocked implements FindDpr: for each frontier token in version order,
+// build its dependency set; if fully durable, fold the closure into the cut.
+// Repeats until no token can be added (a closure admitted for one worker can
+// unblock another's).
+func (f *ExactFinder) advanceLocked() {
+	for {
+		progressed := false
+		for w, pending := range f.frontier {
+			i := 0
+			for ; i < len(pending); i++ {
+				t := pending[i]
+				closure, ok := f.graph.DependencySet(t, f.cut)
+				if !ok {
+					break // earlier versions block later ones on same worker
+				}
+				for _, ct := range closure {
+					if ct.Version > f.cut[ct.Worker] {
+						f.cut[ct.Worker] = ct.Version
+					}
+				}
+				progressed = true
+			}
+			if i > 0 {
+				f.frontier[w] = pending[i:]
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	f.graph.PruneBelow(f.cut)
+}
+
+// CurrentCut returns a copy of the latest cut.
+func (f *ExactFinder) CurrentCut() Cut {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut.Clone()
+}
+
+// MaxVersion returns the largest reported version.
+func (f *ExactFinder) MaxVersion() Version {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxV
+}
+
+// GraphSize reports the number of tokens currently retained (frontier not yet
+// folded into the cut); exported for the finder ablation benchmarks.
+func (f *ExactFinder) GraphSize() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.graph.Size()
+}

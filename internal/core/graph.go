@@ -1,0 +1,139 @@
+package core
+
+// PrecedenceGraph models token dependencies (§3.1). Every committed version
+// is a vertex; a directed edge goes from token B-n to A-m if B-n depends on
+// A-m by precedence (a session completed an operation in A-m immediately
+// before issuing one in B-n). A set of tokens forms a DPR-cut iff it is
+// closed under the transitive dependency relation.
+//
+// The graph additionally tracks which tokens are durable (their StateObject
+// reported the checkpoint persistent); only closures consisting entirely of
+// durable tokens may enter the cut.
+//
+// PrecedenceGraph is not safe for concurrent use; finders serialize access.
+type PrecedenceGraph struct {
+	// deps maps a token to its direct dependencies. A token's predecessor
+	// version on the same worker is an implicit dependency and is added
+	// explicitly on insert so closures always contain whole prefixes.
+	deps map[Token][]Token
+	// durable marks tokens whose version is reported persistent.
+	durable map[Token]bool
+	// maxSeen tracks the largest inserted version per worker, used to prune.
+	maxSeen map[WorkerID]Version
+}
+
+// NewPrecedenceGraph returns an empty graph.
+func NewPrecedenceGraph() *PrecedenceGraph {
+	return &PrecedenceGraph{
+		deps:    make(map[Token][]Token),
+		durable: make(map[Token]bool),
+		maxSeen: make(map[WorkerID]Version),
+	}
+}
+
+// Add inserts token t with direct dependencies ds and marks it durable.
+// StateObjects report a version only after its checkpoint persists, so
+// insertion and durability coincide (§3.3: "Each StateObject adds a version
+// and its dependencies to the precedence graph after each local checkpoint").
+// The implicit dependency on the worker's previous version is added so that
+// per-worker prefixes stay dependency-closed.
+func (g *PrecedenceGraph) Add(t Token, ds []Token) {
+	if t.Version == 0 {
+		return // version 0 is the empty pre-history, always durable
+	}
+	all := make([]Token, 0, len(ds)+1)
+	if t.Version > 1 {
+		all = append(all, Token{Worker: t.Worker, Version: t.Version - 1})
+	}
+	for _, d := range ds {
+		if d.Version == 0 || d == t {
+			continue
+		}
+		all = append(all, d)
+	}
+	g.deps[t] = all
+	g.durable[t] = true
+	if t.Version > g.maxSeen[t.Worker] {
+		g.maxSeen[t.Worker] = t.Version
+	}
+}
+
+// Durable reports whether t has been reported persistent. Version 0 is
+// trivially durable.
+func (g *PrecedenceGraph) Durable(t Token) bool {
+	return t.Version == 0 || g.durable[t]
+}
+
+// Known reports whether t's dependency list has been recorded.
+func (g *PrecedenceGraph) Known(t Token) bool {
+	if t.Version == 0 {
+		return true
+	}
+	_, ok := g.deps[t]
+	return ok
+}
+
+// DependencySet performs the paper's BuildDependencySet: a breadth-first
+// traversal from t returning every token reachable through dependency edges
+// (including t itself), stopping at tokens already inside base (they are
+// known recoverable and need not be revisited). The second return value is
+// false if the traversal reached a token whose dependencies are unknown or
+// not durable — in that case t cannot yet join the cut.
+func (g *PrecedenceGraph) DependencySet(t Token, base Cut) ([]Token, bool) {
+	if base.Includes(t) {
+		return nil, true
+	}
+	visited := map[Token]bool{t: true}
+	queue := []Token{t}
+	out := []Token{t}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		ds, ok := g.deps[cur]
+		if !ok {
+			if cur.Version == 0 {
+				continue
+			}
+			return nil, false // dependency information missing
+		}
+		for _, d := range ds {
+			if visited[d] || base.Includes(d) {
+				continue
+			}
+			if !g.Durable(d) {
+				return nil, false
+			}
+			visited[d] = true
+			queue = append(queue, d)
+			out = append(out, d)
+		}
+	}
+	return out, true
+}
+
+// MaxVersion returns the largest version inserted for worker w.
+func (g *PrecedenceGraph) MaxVersion(w WorkerID) Version { return g.maxSeen[w] }
+
+// Workers returns the ids of all workers with at least one inserted token.
+func (g *PrecedenceGraph) Workers() []WorkerID {
+	out := make([]WorkerID, 0, len(g.maxSeen))
+	for w := range g.maxSeen {
+		out = append(out, w)
+	}
+	return out
+}
+
+// PruneBelow drops all tokens at or below the cut; they can never be needed
+// again because cuts only advance. This bounds graph memory to the
+// uncommitted frontier.
+func (g *PrecedenceGraph) PruneBelow(cut Cut) {
+	for t := range g.deps {
+		if cut.Includes(t) {
+			delete(g.deps, t)
+			delete(g.durable, t)
+		}
+	}
+}
+
+// Size returns the number of tracked (not yet pruned) tokens.
+func (g *PrecedenceGraph) Size() int { return len(g.deps) }

@@ -1,0 +1,97 @@
+package core
+
+import "sync"
+
+// HybridFinder combines the exact and approximate algorithms (§3.4). The
+// exact finder keeps its precedence graph purely in memory — cheap, but the
+// graph is lost if the finder node crashes. The approximate finder runs in
+// parallel against the durable version table. After a crash of the exact
+// component, the exact algorithm is temporarily unable to commit (it cannot
+// know the dependency sets of versions reported before the crash), but the
+// approximate algorithm eventually advances the cut past the missing
+// subgraph, at which point the exact finder resumes with full precision.
+//
+// The reported cut is the merge of both components; the approximate cut is a
+// lower bound on the exact cut in steady state, so merging preserves
+// correctness.
+type HybridFinder struct {
+	mu     sync.Mutex
+	exact  *ExactFinder
+	approx *ApproximateFinder
+	// lostBelow is nonzero after a crash: exact reports for versions whose
+	// dependencies may reach below this version are unusable until the
+	// approximate cut passes it.
+	cut Cut
+}
+
+// NewHybridFinder returns a HybridFinder with empty history.
+func NewHybridFinder() *HybridFinder {
+	return &HybridFinder{
+		exact:  NewExactFinder(),
+		approx: NewApproximateFinder(),
+		cut:    make(Cut),
+	}
+}
+
+// AddWorker registers w with both components.
+func (f *HybridFinder) AddWorker(w WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.exact.AddWorker(w)
+	f.approx.AddWorker(w)
+	if _, ok := f.cut[w]; !ok {
+		f.cut[w] = 0
+	}
+}
+
+// RemoveWorker deregisters w from both components.
+func (f *HybridFinder) RemoveWorker(w WorkerID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.exact.RemoveWorker(w)
+	f.approx.RemoveWorker(w)
+}
+
+// Report feeds both components and refreshes the merged cut.
+func (f *HybridFinder) Report(w WorkerID, v Version, deps []Token) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.exact.Report(w, v, deps)
+	f.approx.Report(w, v, nil)
+	f.cut.Merge(f.exact.CurrentCut())
+	f.cut.Merge(f.approx.CurrentCut())
+}
+
+// CrashExact simulates losing the in-memory precedence graph (finder node
+// restart). The durable approximate table survives; the exact component
+// restarts empty and its stale frontier knowledge is discarded. Version
+// reports arriving after the crash may depend on pre-crash versions the new
+// graph has never seen; DependencySet correctly refuses to close over
+// unknown tokens, so the exact cut stalls until the approximate cut
+// overtakes the missing region — the recovery behaviour described in §3.4.
+func (f *HybridFinder) CrashExact() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fresh := NewExactFinder()
+	// Registered workers carry over (membership is durable metadata); the
+	// exact cut restarts from the merged durable cut so already-guaranteed
+	// prefixes are never re-examined.
+	for w := range f.approx.persisted {
+		fresh.AddWorker(w)
+	}
+	fresh.cut = f.cut.Clone()
+	f.exact = fresh
+}
+
+// CurrentCut returns a copy of the merged cut.
+func (f *HybridFinder) CurrentCut() Cut {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut.Clone()
+}
+
+// MaxVersion returns Vmax from the durable table.
+func (f *HybridFinder) MaxVersion() Version { return f.approx.MaxVersion() }
+
+// ExactGraphSize exposes the in-memory graph size for ablation benchmarks.
+func (f *HybridFinder) ExactGraphSize() int { return f.exact.GraphSize() }

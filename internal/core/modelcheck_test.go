@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Model checking the DPR protocol: an exhaustive, deterministic simulation
+// of a tiny DPR system over ALL interleavings of a bounded action set. The
+// model has a client session issuing operations to two StateObjects, each
+// with explicit Commit (checkpoint + report) and durability steps, an exact
+// finder, and a crash action that rolls the system back to the current cut.
+//
+// Checked invariants, per §4.3:
+//
+//  1. The cut only ever contains durable versions whose dependency closures
+//     are durable (prefix recoverability of the guarantee).
+//  2. After a crash, the surviving session prefix is consistent with the
+//     store state: every surviving operation's version is at or below the
+//     cut position of its worker.
+//  3. The cut is monotone (guarantees are never taken back), except across
+//     failures, where it is exactly the frozen recovery cut.
+//
+// The state space is tiny (bounded ops, bounded commits, one crash) but the
+// interleavings cover every ordering of checkpoint boundaries, durability
+// notifications, finder reports, and the crash — precisely the races the
+// paper's §3.2/§3.3 algorithms must tolerate.
+
+// mcAction enumerates the model's atomic steps.
+type mcAction int
+
+const (
+	mcOpA     mcAction = iota // client issues next op to A
+	mcOpB                     // client issues next op to B
+	mcCommitA                 // A draws a checkpoint boundary
+	mcCommitB
+	mcDurableA // A's oldest in-flight checkpoint becomes durable + reported
+	mcDurableB
+	mcCrash // system crashes and recovers to the current cut
+	mcActionCount
+)
+
+// mcState is the whole model state; it is copied cheaply at branch points.
+type mcState struct {
+	// per-worker: current version, list of (version) checkpoints in flight,
+	// durable version.
+	current  [2]Version
+	inflight [2][]Version
+	durable  [2]Version
+	// dependency: version deps recorded at op time (token of session's
+	// previous op).
+	deps map[Token][]Token
+	// session: op log (worker, version per op), Vs clock.
+	ops []Token
+	vs  Version
+	// finder
+	finder *ExactFinder
+	// budget
+	opsLeft, commitsLeft, crashesLeft int
+	// lastCut for monotonicity checking
+	lastCut Cut
+}
+
+func (st *mcState) clone() *mcState {
+	n := &mcState{
+		current:     st.current,
+		durable:     st.durable,
+		vs:          st.vs,
+		opsLeft:     st.opsLeft,
+		commitsLeft: st.commitsLeft,
+		crashesLeft: st.crashesLeft,
+		lastCut:     st.lastCut.Clone(),
+	}
+	for w := 0; w < 2; w++ {
+		n.inflight[w] = append([]Version(nil), st.inflight[w]...)
+	}
+	n.ops = append([]Token(nil), st.ops...)
+	n.deps = make(map[Token][]Token, len(st.deps))
+	for k, v := range st.deps {
+		n.deps[k] = v
+	}
+	// Rebuild the finder from the dependency history up to durable points:
+	// simpler and safer than deep-copying its internals.
+	n.finder = NewExactFinder()
+	n.finder.AddWorker(1)
+	n.finder.AddWorker(2)
+	for w := 0; w < 2; w++ {
+		for v := Version(1); v <= st.durable[w]; v++ {
+			tok := Token{Worker: WorkerID(w + 1), Version: v}
+			n.finder.Report(tok.Worker, v, st.deps[tok])
+		}
+	}
+	return n
+}
+
+func newMCState(ops, commits, crashes int) *mcState {
+	st := &mcState{
+		current:     [2]Version{1, 1},
+		deps:        make(map[Token][]Token),
+		opsLeft:     ops,
+		commitsLeft: commits,
+		crashesLeft: crashes,
+		lastCut:     Cut{},
+	}
+	st.finder = NewExactFinder()
+	st.finder.AddWorker(1)
+	st.finder.AddWorker(2)
+	return st
+}
+
+// enabled reports whether an action is currently possible.
+func (st *mcState) enabled(a mcAction) bool {
+	switch a {
+	case mcOpA, mcOpB:
+		return st.opsLeft > 0
+	case mcCommitA:
+		return st.commitsLeft > 0
+	case mcCommitB:
+		return st.commitsLeft > 0
+	case mcDurableA:
+		return len(st.inflight[0]) > 0
+	case mcDurableB:
+		return len(st.inflight[1]) > 0
+	case mcCrash:
+		return st.crashesLeft > 0
+	}
+	return false
+}
+
+// apply executes an action, returning an error on invariant violation.
+func (st *mcState) apply(a mcAction) error {
+	switch a {
+	case mcOpA, mcOpB:
+		w := 0
+		if a == mcOpB {
+			w = 1
+		}
+		// Progress rule (§3.2): the op executes in a version >= Vs; the
+		// worker fast-forwards by drawing a boundary if needed.
+		if st.current[w] < st.vs {
+			st.inflight[w] = append(st.inflight[w], st.vs-1)
+			st.current[w] = st.vs
+		}
+		tok := Token{Worker: WorkerID(w + 1), Version: st.current[w]}
+		// Dependency: the session's previous op's token.
+		if len(st.ops) > 0 {
+			prev := st.ops[len(st.ops)-1]
+			if prev.Worker != tok.Worker {
+				st.deps[tok] = append(st.deps[tok], prev)
+			}
+		}
+		st.ops = append(st.ops, tok)
+		if tok.Version > st.vs {
+			st.vs = tok.Version
+		}
+		st.opsLeft--
+	case mcCommitA, mcCommitB:
+		w := 0
+		if a == mcCommitB {
+			w = 1
+		}
+		st.inflight[w] = append(st.inflight[w], st.current[w])
+		st.current[w]++
+		st.commitsLeft--
+	case mcDurableA, mcDurableB:
+		w := 0
+		if a == mcDurableB {
+			w = 1
+		}
+		v := st.inflight[w][0]
+		st.inflight[w] = st.inflight[w][1:]
+		// All checkpoints cover whole prefixes: report every version up to
+		// v (fast-forward may have skipped some).
+		for rv := st.durable[w] + 1; rv <= v; rv++ {
+			tok := Token{Worker: WorkerID(w + 1), Version: rv}
+			st.finder.Report(tok.Worker, rv, st.deps[tok])
+		}
+		if v > st.durable[w] {
+			st.durable[w] = v
+		}
+	case mcCrash:
+		cut := st.finder.CurrentCut()
+		// Invariant 2: compute the surviving session prefix and verify it
+		// is dependency-consistent: ops inside it are covered by the cut
+		// and ops outside are not silently kept.
+		surviving := 0
+		for i, tok := range st.ops {
+			if cut.Includes(tok) {
+				surviving = i + 1
+			} else {
+				break
+			}
+		}
+		for i := 0; i < surviving; i++ {
+			if !cut.Includes(st.ops[i]) {
+				return fmt.Errorf("surviving op %d (%v) outside cut %v", i, st.ops[i], cut)
+			}
+		}
+		// Roll back: workers drop to cut positions, in-flight checkpoints
+		// of rolled-back versions vanish, the session truncates.
+		for w := 0; w < 2; w++ {
+			pos := cut.Get(WorkerID(w + 1))
+			if st.durable[w] > pos {
+				st.durable[w] = pos
+			}
+			var keep []Version
+			for _, v := range st.inflight[w] {
+				if v <= pos {
+					keep = append(keep, v)
+				}
+			}
+			st.inflight[w] = keep
+			if st.current[w] <= pos {
+				st.current[w] = pos + 1
+			}
+			// Versions advance past everything rolled back (new world-line
+			// operates in fresh versions).
+			st.current[w]++
+		}
+		st.ops = st.ops[:surviving]
+		// Vs regresses to the largest surviving position.
+		st.vs = 0
+		for _, tok := range st.ops {
+			if tok.Version > st.vs {
+				st.vs = tok.Version
+			}
+		}
+		st.crashesLeft--
+	}
+	// Invariant 1: the cut contains only durable, dependency-closed tokens.
+	cut := st.finder.CurrentCut()
+	for w := 0; w < 2; w++ {
+		pos := cut.Get(WorkerID(w + 1))
+		if pos > st.durable[w] {
+			return fmt.Errorf("cut %v exceeds durable frontier %v", cut, st.durable)
+		}
+		for v := Version(1); v <= pos; v++ {
+			for _, dep := range st.deps[Token{Worker: WorkerID(w + 1), Version: v}] {
+				if !cut.Includes(dep) {
+					return fmt.Errorf("cut %v not dependency-closed: %d-%d needs %v", cut, w+1, v, dep)
+				}
+			}
+		}
+	}
+	// Invariant 3: monotone except across a crash, where it is re-rooted at
+	// the frozen cut (our model computes the cut at crash time, so the cut
+	// never regresses even then).
+	for w, v := range st.lastCut {
+		if a != mcCrash && cut.Get(w) < v {
+			return fmt.Errorf("cut regressed without a crash: %v -> %v", st.lastCut, cut)
+		}
+	}
+	st.lastCut = cut
+	return nil
+}
+
+// explore walks every interleaving depth-first.
+func explore(t *testing.T, st *mcState, depth int, trace []mcAction, visited map[string]bool, stats *int) {
+	t.Helper()
+	if depth == 0 {
+		return
+	}
+	for a := mcAction(0); a < mcActionCount; a++ {
+		if !st.enabled(a) {
+			continue
+		}
+		next := st.clone()
+		if err := next.apply(a); err != nil {
+			t.Fatalf("invariant violation after %v + action %d: %v", trace, a, err)
+		}
+		*stats++
+		explore(t, next, depth-1, append(trace, a), visited, stats)
+	}
+}
+
+// TestModelCheckDPRInvariants exhaustively explores every interleaving of a
+// bounded DPR execution (4 ops, 3 commit boundaries, 1 crash) and asserts
+// the three §4.3 invariants at every state.
+func TestModelCheckDPRInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking is exponential; skipped with -short")
+	}
+	states := 0
+	st := newMCState(4, 3, 1)
+	explore(t, st, 11, nil, map[string]bool{}, &states)
+	if states < 100000 {
+		t.Fatalf("state space suspiciously small: %d states", states)
+	}
+	t.Logf("explored %d states without invariant violations", states)
+}
+
+// TestModelCheckNoCrash explores a deeper crash-free space (progress check:
+// once all ops issue and all checkpoints drain, everything is in the cut).
+func TestModelCheckNoCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking is exponential; skipped with -short")
+	}
+	// Drive to completion along every interleaving, then drain remaining
+	// checkpoints deterministically and check full commitment.
+	var drive func(st *mcState, depth int)
+	checked := 0
+	drive = func(st *mcState, depth int) {
+		progressed := false
+		if depth > 0 {
+			for a := mcAction(0); a < mcActionCount; a++ {
+				if a == mcCrash || !st.enabled(a) {
+					continue
+				}
+				progressed = true
+				next := st.clone()
+				if err := next.apply(a); err != nil {
+					t.Fatal(err)
+				}
+				drive(next, depth-1)
+			}
+		}
+		if !progressed {
+			// Drain: issue a final commit+durable on each worker so every
+			// op's version is checkpointed, then everything must commit.
+			final := st.clone()
+			for _, a := range []mcAction{mcCommitA, mcCommitB} {
+				final.commitsLeft = 1
+				if err := final.apply(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for len(final.inflight[0]) > 0 {
+				if err := final.apply(mcDurableA); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for len(final.inflight[1]) > 0 {
+				if err := final.apply(mcDurableB); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cut := final.finder.CurrentCut()
+			for _, tok := range final.ops {
+				if !cut.Includes(tok) {
+					t.Fatalf("progress violation: op %v never committed (cut %v)", tok, cut)
+				}
+			}
+			checked++
+		}
+	}
+	drive(newMCState(3, 2, 0), 9)
+	if checked == 0 {
+		t.Fatal("no terminal states checked")
+	}
+	t.Logf("checked full commitment in %d terminal states", checked)
+}

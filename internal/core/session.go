@@ -1,0 +1,310 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// SessionTracker maintains one client session's SessionOrder (§3): the
+// linearizable order of its operations, the token each operation was captured
+// in, the session's version clock Vs (§3.2), its world-line (§4.2), and the
+// committed prefix derived from DPR-cuts.
+//
+// Under strict DPR the SessionOrder is the completion order and the committed
+// prefix never skips an operation. Under relaxed DPR (§5.4) operations are
+// ordered by start time, PENDING operations do not gate later operations, and
+// a committed prefix may carry an exception list of unresolved or lost
+// operations inside it.
+//
+// SessionTracker is safe for concurrent use; a session is a logical thread
+// but completions can arrive from background network threads.
+type SessionTracker struct {
+	mu sync.Mutex
+
+	relaxed   bool
+	worldLine WorldLine
+	vs        Version // largest version observed (the Lamport clock of §3.2)
+
+	nextSeq uint64 // next operation sequence number (first op gets 1)
+
+	// tokens maps seq -> capturing token for completed, not-yet-committed
+	// operations. Committed entries are pruned.
+	tokens map[uint64]Token
+	// pending holds started, not yet completed operation seqs.
+	pending map[uint64]bool
+
+	committed  uint64   // committed prefix point
+	exceptions []uint64 // seqs <= committed that are NOT committed (relaxed)
+
+	// latestSeq/latestTok track the most recently completed operation so
+	// LatestToken is O(1) on the per-operation hot path.
+	latestSeq uint64
+	latestTok Token
+}
+
+// NewSessionTracker returns a tracker starting at world-line wl.
+// relaxed selects relaxed DPR semantics (the FASTER default).
+func NewSessionTracker(wl WorldLine, relaxed bool) *SessionTracker {
+	return &SessionTracker{
+		relaxed:   relaxed,
+		worldLine: wl,
+		nextSeq:   1,
+		tokens:    make(map[uint64]Token),
+		pending:   make(map[uint64]bool),
+	}
+}
+
+// Relaxed reports whether the tracker uses relaxed DPR semantics.
+func (s *SessionTracker) Relaxed() bool { return s.relaxed }
+
+// WorldLine returns the session's current world-line.
+func (s *SessionTracker) WorldLine() WorldLine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.worldLine
+}
+
+// VersionClock returns Vs, to be appended to outgoing requests (§3.2).
+func (s *SessionTracker) VersionClock() Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vs
+}
+
+// Begin assigns the next sequence number to a new operation and records it
+// as in flight.
+func (s *SessionTracker) Begin() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.pending[seq] = true
+	return seq
+}
+
+// BeginBatch assigns n consecutive sequence numbers, returning the first.
+func (s *SessionTracker) BeginBatch(n int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := s.nextSeq
+	for i := 0; i < n; i++ {
+		s.pending[s.nextSeq] = true
+		s.nextSeq++
+	}
+	return first
+}
+
+// Complete records that operation seq was executed and captured by token t,
+// and advances Vs. Returns false if the operation was already resolved
+// (e.g. discarded by a rollback that raced the response).
+func (s *SessionTracker) Complete(seq uint64, t Token) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pending[seq] {
+		return false
+	}
+	delete(s.pending, seq)
+	s.tokens[seq] = t
+	if t.Version > s.vs {
+		s.vs = t.Version
+	}
+	if seq >= s.latestSeq {
+		s.latestSeq, s.latestTok = seq, t
+	}
+	return true
+}
+
+// ObserveVersion folds a worker-reported version into Vs
+// (Vs = max(Vs, v), §3.2).
+func (s *SessionTracker) ObserveVersion(v Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.vs {
+		s.vs = v
+	}
+}
+
+// LatestToken returns the token of the most recently completed operation;
+// it is the dependency the next request carries to a different worker.
+func (s *SessionTracker) LatestToken() (Token, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latestTok, s.latestSeq != 0
+}
+
+// AdvanceCommitted folds a DPR-cut into the session, advancing the committed
+// prefix point. Returns the new prefix point and, under relaxed DPR, the
+// exception list of sequence numbers at or below the point that are not yet
+// committed (still pending, or captured in a version beyond the cut).
+//
+// Strict mode: the prefix stops at the first operation that is pending or
+// whose token is outside the cut.
+//
+// Relaxed mode: the prefix is the largest point such that every *completed*
+// operation at or below it has its token inside the cut; operations still
+// pending are skipped and reported as exceptions until they resolve.
+func (s *SessionTracker) AdvanceCommitted(cut Cut) (uint64, []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.committed
+	for next := p + 1; next < s.nextSeq; next++ {
+		if s.pending[next] {
+			if s.relaxed {
+				continue // skip; reported as exception below
+			}
+			break
+		}
+		t, ok := s.tokens[next]
+		if !ok {
+			// Neither pending nor tracked: already committed or rolled
+			// back; rolled-back ops are resolved by OnFailure before any
+			// commit advancement, so treat as committed.
+			if next == p+1 {
+				p = next
+			}
+			continue
+		}
+		if !cut.Includes(t) {
+			if s.relaxed {
+				continue
+			}
+			break
+		}
+		if next == p+1 || s.relaxed {
+			if next > p {
+				// In relaxed mode the point may jump over skipped ops only
+				// if we keep them as exceptions; the point itself advances
+				// to the highest committed op.
+				p = next
+			}
+		}
+	}
+	// Relaxed: recompute the exception list for the new point.
+	var exceptions []uint64
+	if s.relaxed {
+		for seq := range s.pending {
+			if seq <= p {
+				exceptions = append(exceptions, seq)
+			}
+		}
+		for seq, t := range s.tokens {
+			if seq <= p && !cut.Includes(t) {
+				exceptions = append(exceptions, seq)
+			}
+		}
+		sort.Slice(exceptions, func(i, j int) bool { return exceptions[i] < exceptions[j] })
+	}
+	s.committed = p
+	s.exceptions = exceptions
+	// Prune committed tokens (they can never be needed again).
+	for seq, t := range s.tokens {
+		if seq <= p && cut.Includes(t) {
+			delete(s.tokens, seq)
+		}
+	}
+	return p, exceptions
+}
+
+// Committed returns the last computed committed prefix point and exceptions.
+func (s *SessionTracker) Committed() (uint64, []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.committed, append([]uint64(nil), s.exceptions...)
+}
+
+// InFlight returns the number of started but uncompleted operations.
+func (s *SessionTracker) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// NextSeq returns the sequence number the next Begin will assign.
+func (s *SessionTracker) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// OnFailure transitions the session to world-line wl after a failure whose
+// recovered state is cut (§4.2). It computes the surviving prefix: every
+// completed operation whose token lies inside the cut survives; operations
+// beyond the cut, and operations that were in flight, are lost. The session's
+// version clock regresses to the cut so the progress rule resumes cleanly.
+// Returns a SurvivalError describing the outcome; the caller surfaces it to
+// the application. Lost operations are dropped from tracking; in-flight
+// operations are resolved as lost.
+func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wl <= s.worldLine {
+		return nil // stale notification
+	}
+	s.worldLine = wl
+
+	surviving := s.committed
+	var exceptions []uint64
+	if s.relaxed {
+		// Largest completed-and-recovered op; pending and lost ops inside
+		// become exceptions.
+		for seq := s.committed + 1; seq < s.nextSeq; seq++ {
+			if t, ok := s.tokens[seq]; ok && cut.Includes(t) {
+				surviving = seq
+			}
+		}
+		for seq := range s.pending {
+			if seq <= surviving {
+				exceptions = append(exceptions, seq)
+			}
+		}
+		for seq, t := range s.tokens {
+			if seq <= surviving && !cut.Includes(t) {
+				exceptions = append(exceptions, seq)
+			}
+		}
+		sort.Slice(exceptions, func(i, j int) bool { return exceptions[i] < exceptions[j] })
+	} else {
+		for next := surviving + 1; next < s.nextSeq; next++ {
+			t, ok := s.tokens[next]
+			if !ok || !cut.Includes(t) {
+				break
+			}
+			surviving = next
+		}
+	}
+
+	// Drop everything not surviving; those operations are gone from the new
+	// world-line and the application must reissue them if desired.
+	for seq := range s.pending {
+		delete(s.pending, seq)
+	}
+	for seq, t := range s.tokens {
+		if seq > surviving || !cut.Includes(t) {
+			delete(s.tokens, seq)
+		}
+	}
+	s.nextSeq = surviving + 1
+	if s.committed > surviving {
+		s.committed = surviving
+	}
+	// Recompute the latest-completed marker over the surviving tokens
+	// (rare path: failures only).
+	s.latestSeq, s.latestTok = 0, Token{}
+	for seq, t := range s.tokens {
+		if seq >= s.latestSeq {
+			s.latestSeq, s.latestTok = seq, t
+		}
+	}
+	// Vs regresses to the recovered frontier: max cut position this session
+	// could have observed. Using the global max keeps monotonicity.
+	var maxCut Version
+	for _, v := range cut {
+		if v > maxCut {
+			maxCut = v
+		}
+	}
+	if s.vs > maxCut {
+		s.vs = maxCut
+	}
+	return &SurvivalError{WorldLine: wl, SurvivingPrefix: surviving, Exceptions: exceptions}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSessionStrictCommitPrefix(t *testing.T) {
+	s := NewSessionTracker(0, false)
+	s1 := s.Begin()
+	s2 := s.Begin()
+	s3 := s.Begin()
+	s.Complete(s1, tok(1, 1))
+	s.Complete(s2, tok(2, 1))
+	s.Complete(s3, tok(1, 2))
+	p, exc := s.AdvanceCommitted(Cut{1: 1})
+	if p != 1 || len(exc) != 0 {
+		t.Fatalf("expected prefix 1, got %d (%v)", p, exc)
+	}
+	p, _ = s.AdvanceCommitted(Cut{1: 2, 2: 1})
+	if p != 3 {
+		t.Fatalf("expected prefix 3, got %d", p)
+	}
+}
+
+func TestSessionStrictStopsAtPending(t *testing.T) {
+	s := NewSessionTracker(0, false)
+	s1 := s.Begin()
+	s2 := s.Begin()
+	s3 := s.Begin()
+	s.Complete(s1, tok(1, 1))
+	// s2 is still pending.
+	s.Complete(s3, tok(1, 1))
+	p, _ := s.AdvanceCommitted(Cut{1: 5})
+	if p != 1 {
+		t.Fatalf("strict prefix must stop at pending op, got %d", p)
+	}
+	s.Complete(s2, tok(1, 1))
+	p, _ = s.AdvanceCommitted(Cut{1: 5})
+	if p != 3 {
+		t.Fatalf("prefix should advance after completion, got %d", p)
+	}
+}
+
+func TestSessionRelaxedSkipsPending(t *testing.T) {
+	s := NewSessionTracker(0, true)
+	s1 := s.Begin()
+	s2 := s.Begin() // will go PENDING (e.g. remote op)
+	s3 := s.Begin()
+	s.Complete(s1, tok(1, 1))
+	s.Complete(s3, tok(1, 1))
+	p, exc := s.AdvanceCommitted(Cut{1: 1})
+	if p != 3 {
+		t.Fatalf("relaxed prefix should skip pending, got %d", p)
+	}
+	if len(exc) != 1 || exc[0] != s2 {
+		t.Fatalf("pending op must be listed as exception, got %v", exc)
+	}
+	// Once the pending op resolves inside the cut, the exception clears.
+	s.Complete(s2, tok(2, 1))
+	p, exc = s.AdvanceCommitted(Cut{1: 1, 2: 1})
+	if p != 3 || len(exc) != 0 {
+		t.Fatalf("exception should clear, got prefix %d exc %v", p, exc)
+	}
+}
+
+func TestSessionVersionClock(t *testing.T) {
+	s := NewSessionTracker(0, false)
+	if s.VersionClock() != 0 {
+		t.Fatal("fresh session must have Vs=0")
+	}
+	seq := s.Begin()
+	s.Complete(seq, tok(3, 7))
+	if s.VersionClock() != 7 {
+		t.Fatalf("Vs should be 7, got %d", s.VersionClock())
+	}
+	s.ObserveVersion(5) // lower version must not regress the clock
+	if s.VersionClock() != 7 {
+		t.Fatal("Vs must be monotone")
+	}
+	s.ObserveVersion(9)
+	if s.VersionClock() != 9 {
+		t.Fatal("Vs should advance to 9")
+	}
+}
+
+func TestSessionFailureSurvival(t *testing.T) {
+	s := NewSessionTracker(0, false)
+	seqs := make([]uint64, 5)
+	for i := range seqs {
+		seqs[i] = s.Begin()
+	}
+	s.Complete(seqs[0], tok(1, 1))
+	s.Complete(seqs[1], tok(2, 1))
+	s.Complete(seqs[2], tok(1, 2)) // beyond the recovered cut
+	s.Complete(seqs[3], tok(1, 1))
+	// seqs[4] in flight at failure time.
+	err := s.OnFailure(1, Cut{1: 1, 2: 1})
+	if err == nil {
+		t.Fatal("expected survival error")
+	}
+	if err.SurvivingPrefix != 2 {
+		t.Fatalf("expected surviving prefix 2, got %d", err.SurvivingPrefix)
+	}
+	if !errors.Is(err, ErrRolledBack) {
+		t.Fatal("survival error must unwrap to ErrRolledBack")
+	}
+	if s.WorldLine() != 1 {
+		t.Fatal("session must adopt the new world-line")
+	}
+	// Sequence numbering resumes right after the surviving prefix.
+	if got := s.Begin(); got != 3 {
+		t.Fatalf("expected next seq 3, got %d", got)
+	}
+	// A duplicate (stale) failure notification is ignored.
+	if dup := s.OnFailure(1, Cut{1: 1}); dup != nil {
+		t.Fatal("duplicate failure notification must be ignored")
+	}
+}
+
+func TestSessionFailureRelaxedExceptions(t *testing.T) {
+	s := NewSessionTracker(0, true)
+	a := s.Begin()
+	b := s.Begin()
+	c := s.Begin()
+	s.Complete(a, tok(1, 1))
+	// b stays pending.
+	s.Complete(c, tok(1, 1))
+	err := s.OnFailure(2, Cut{1: 1})
+	if err == nil || err.SurvivingPrefix != 3 {
+		t.Fatalf("relaxed survival should reach op 3, got %+v", err)
+	}
+	if len(err.Exceptions) != 1 || err.Exceptions[0] != b {
+		t.Fatalf("pending op must appear in exceptions, got %v", err.Exceptions)
+	}
+}
+
+func TestSessionCompleteUnknownSeq(t *testing.T) {
+	s := NewSessionTracker(0, false)
+	if s.Complete(42, tok(1, 1)) {
+		t.Fatal("completing an unknown seq must return false")
+	}
+}
+
+func TestWorldLineTrackerAdmit(t *testing.T) {
+	w := NewWorldLineTracker(3)
+	if err := w.Admit(3, time.Second); err != nil {
+		t.Fatalf("matching world-line must be admitted: %v", err)
+	}
+	if err := w.Admit(2, time.Second); !errors.Is(err, ErrWorldLineMismatch) {
+		t.Fatalf("stale world-line must be rejected: %v", err)
+	}
+	// Future world-line: delayed until the worker advances.
+	done := make(chan error, 1)
+	go func() { done <- w.Admit(4, time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	w.Advance(4, Cut{1: 1})
+	if err := <-done; err != nil {
+		t.Fatalf("request should be admitted after advance: %v", err)
+	}
+	if c, ok := w.RecoveredCut(4); !ok || c.Get(1) != 1 {
+		t.Fatalf("recovered cut must be recorded, got %v ok=%v", c, ok)
+	}
+	// Timeout case.
+	if err := w.Admit(9, 10*time.Millisecond); !errors.Is(err, ErrWorldLineMismatch) {
+		t.Fatalf("expected timeout mismatch, got %v", err)
+	}
+	// Stale advance ignored.
+	w.Advance(2, Cut{})
+	if w.Current() != 4 {
+		t.Fatal("stale advance must not regress world-line")
+	}
+}
+
+// TestWorldLineAnomalyPrevented replays Figure 5: after a failure, a client
+// that has recovered (world-line y) must not have its new operations erased
+// by a StateObject that recovers later. The world-line check defers the
+// client's operation until B has restored, so Restore can never erase a
+// post-recovery operation.
+func TestWorldLineAnomalyPrevented(t *testing.T) {
+	b := NewWorldLineTracker(0) // StateObject B, still pre-recovery
+	// Client already recovered into world-line 1 and issues Op 11 to B.
+	admitted := make(chan error, 1)
+	go func() { admitted <- b.Admit(1, time.Second) }()
+	// B has not restored yet; the operation must not execute.
+	select {
+	case <-admitted:
+		t.Fatal("operation executed against pre-recovery StateObject")
+	case <-time.After(10 * time.Millisecond):
+	}
+	// B now restores (erasing world-line-0 suffix) and advances; only then
+	// does Op 11 execute — in the post-recovery world, where it is safe.
+	b.Advance(1, Cut{})
+	if err := <-admitted; err != nil {
+		t.Fatalf("operation should execute post-recovery: %v", err)
+	}
+}
+
+// Property: committed prefix is monotone under growing cuts, and never
+// includes an op whose token is outside the cut (strict mode).
+func TestSessionPrefixMonotoneProperty(t *testing.T) {
+	prop := func(versions []uint8) bool {
+		if len(versions) == 0 {
+			return true
+		}
+		if len(versions) > 64 {
+			versions = versions[:64]
+		}
+		s := NewSessionTracker(0, false)
+		toks := make(map[uint64]Token)
+		for _, v := range versions {
+			seq := s.Begin()
+			tk := tok(1, Version(v%8)+1)
+			s.Complete(seq, tk)
+			toks[seq] = tk
+		}
+		var prev uint64
+		for cutV := Version(1); cutV <= 8; cutV++ {
+			p, _ := s.AdvanceCommitted(Cut{1: cutV})
+			if p < prev {
+				return false // prefix regressed
+			}
+			for seq := uint64(1); seq <= p; seq++ {
+				if toks[seq].Version > cutV {
+					return false // committed op outside cut
+				}
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,581 @@
+package dfaster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/kv"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+	"dpr/internal/wire"
+)
+
+// OpCallback receives an operation's result when its batch completes. A nil
+// callback discards the result (fire-and-forget writes).
+type OpCallback func(wire.OpResult)
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Partitions is the cluster-wide virtual partition count.
+	Partitions int
+	// BatchSize is b: operations are accumulated per worker and sent as a
+	// batch of up to b (§7.1).
+	BatchSize int
+	// Window is w: the maximum number of outstanding remote operations;
+	// enqueuing blocks when the window is full (§7.1).
+	Window int
+	// Relaxed selects relaxed DPR (the default, §5.4).
+	Relaxed bool
+	// LocalWorker, if set, enables co-located execution: operations on keys
+	// the local worker owns run synchronously on the calling thread (§5.2).
+	LocalWorker *Worker
+	// RetryBadOwner bounds ownership-miss retries (default 8).
+	RetryBadOwner int
+}
+
+// Client is one D-FASTER client session: it batches operations per owner
+// worker, pipelines up to Window outstanding operations, tracks commit
+// progress, and surfaces failures as SurvivalErrors. A Client is a session —
+// a sequential logical thread — so operations must be enqueued from one
+// goroutine; completion runs on background reader goroutines.
+type Client struct {
+	cfg     ClientConfig
+	meta    metadata.Service
+	session *libdpr.Session
+
+	ownersMu sync.RWMutex
+	owners   map[uint64]core.WorkerID
+	addrs    map[core.WorkerID]string
+
+	connsMu sync.Mutex
+	conns   map[core.WorkerID]*workerConn
+
+	localSess *kv.Session
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int
+	failure     error
+	lastSeq     uint64
+
+	buffers map[core.WorkerID]*opBuffer
+}
+
+type opBuffer struct {
+	ops []wire.Op
+	cbs []OpCallback
+}
+
+// NewClient builds a client session against the metadata service.
+func NewClient(cfg ClientConfig, meta metadata.Service) (*Client, error) {
+	if cfg.Partitions <= 0 {
+		return nil, errors.New("dfaster: Partitions must be positive")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16 * cfg.BatchSize
+	}
+	if cfg.RetryBadOwner <= 0 {
+		cfg.RetryBadOwner = 8
+	}
+	sess, err := libdpr.NewSession(meta, cfg.Relaxed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:     cfg,
+		meta:    meta,
+		session: sess,
+		owners:  make(map[uint64]core.WorkerID),
+		addrs:   make(map[core.WorkerID]string),
+		conns:   make(map[core.WorkerID]*workerConn),
+		buffers: make(map[core.WorkerID]*opBuffer),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if cfg.LocalWorker != nil {
+		c.localSess = cfg.LocalWorker.Store().NewSession()
+	}
+	return c, nil
+}
+
+// Session exposes the libDPR session (commit tracking, diagnostics).
+func (c *Client) Session() *libdpr.Session { return c.session }
+
+// Close tears down connections and the local session.
+func (c *Client) Close() {
+	c.connsMu.Lock()
+	for _, wc := range c.conns {
+		wc.close()
+	}
+	c.conns = make(map[core.WorkerID]*workerConn)
+	c.connsMu.Unlock()
+	if c.localSess != nil {
+		c.localSess.Close()
+	}
+}
+
+// Err returns the pending failure (a *core.SurvivalError after a rollback),
+// or nil.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure
+}
+
+// Acknowledge clears a pending SurvivalError so the session can continue on
+// the new world-line.
+func (c *Client) Acknowledge() *core.SurvivalError {
+	c.mu.Lock()
+	c.failure = nil
+	c.mu.Unlock()
+	surv := c.session.Acknowledge()
+	if surv != nil {
+		// Sequence numbers beyond the surviving prefix were dropped and
+		// will be reassigned; the high-water mark must regress with them or
+		// WaitCommitAll would wait for sequence numbers that no longer
+		// exist.
+		c.mu.Lock()
+		if c.lastSeq > surv.SurvivingPrefix {
+			c.lastSeq = surv.SurvivingPrefix
+		}
+		c.mu.Unlock()
+	}
+	return surv
+}
+
+// ---- operation enqueueing ----
+
+// Upsert enqueues a write.
+func (c *Client) Upsert(key, val []byte, cb OpCallback) error {
+	return c.enqueue(wire.Op{Kind: wire.OpUpsert, Key: key, Value: val}, cb)
+}
+
+// Read enqueues a read.
+func (c *Client) Read(key []byte, cb OpCallback) error {
+	return c.enqueue(wire.Op{Kind: wire.OpRead, Key: key}, cb)
+}
+
+// Delete enqueues a delete.
+func (c *Client) Delete(key []byte, cb OpCallback) error {
+	return c.enqueue(wire.Op{Kind: wire.OpDelete, Key: key}, cb)
+}
+
+// RMW enqueues a read-modify-write (little-endian uint64 addition).
+func (c *Client) RMW(key []byte, delta uint64, cb OpCallback) error {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(delta >> (8 * i))
+	}
+	return c.enqueue(wire.Op{Kind: wire.OpRMW, Key: key, Value: buf[:]}, cb)
+}
+
+func (c *Client) enqueue(op wire.Op, cb OpCallback) error {
+	c.mu.Lock()
+	for c.failure == nil && c.outstanding >= c.cfg.Window {
+		c.cond.Wait()
+	}
+	if f := c.failure; f != nil {
+		c.mu.Unlock()
+		return f
+	}
+	c.mu.Unlock()
+
+	owner, err := c.ownerOf(op.Key)
+	if err != nil {
+		return err
+	}
+	// Co-located fast path: execute immediately on the calling thread.
+	if c.cfg.LocalWorker != nil && owner == c.cfg.LocalWorker.ID() {
+		return c.executeLocal(op, cb)
+	}
+	c.mu.Lock()
+	buf, ok := c.buffers[owner]
+	if !ok {
+		buf = &opBuffer{}
+		c.buffers[owner] = buf
+	}
+	buf.ops = append(buf.ops, op)
+	buf.cbs = append(buf.cbs, cb)
+	full := len(buf.ops) >= c.cfg.BatchSize
+	var ops []wire.Op
+	var cbs []OpCallback
+	if full {
+		ops, cbs = buf.ops, buf.cbs
+		buf.ops, buf.cbs = nil, nil
+		c.outstanding += len(ops)
+	}
+	c.mu.Unlock()
+	if full {
+		return c.sendBatch(owner, ops, cbs)
+	}
+	return nil
+}
+
+func (c *Client) executeLocal(op wire.Op, cb OpCallback) error {
+	h, err := c.session.NextBatch(1)
+	if err != nil {
+		c.recordFailure(err)
+		return err
+	}
+	c.mu.Lock()
+	if h.SeqStart > c.lastSeq {
+		c.lastSeq = h.SeqStart
+	}
+	// completeBatch releases one window slot; claim it so the counter
+	// balances even though local ops never really occupy the window.
+	c.outstanding++
+	c.mu.Unlock()
+	req := &wire.BatchRequest{Header: h, Ops: []wire.Op{op}}
+	reply, errReply := c.cfg.LocalWorker.ExecuteLocal(c.localSess, req)
+	if errReply != nil {
+		if errReply.Code == wire.ErrCodeRejected {
+			if err := c.session.NotifyWorldLine(errReply.WorldLine); err != nil {
+				c.recordFailure(err)
+				return err
+			}
+		}
+		return errReply
+	}
+	if err := c.completeBatch(c.cfg.LocalWorker.ID(), h, reply, []OpCallback{cb}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush sends all partially filled batches.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	type pending struct {
+		w   core.WorkerID
+		ops []wire.Op
+		cbs []OpCallback
+	}
+	var toSend []pending
+	for wid, buf := range c.buffers {
+		if len(buf.ops) == 0 {
+			continue
+		}
+		toSend = append(toSend, pending{w: wid, ops: buf.ops, cbs: buf.cbs})
+		c.outstanding += len(buf.ops)
+		buf.ops, buf.cbs = nil, nil
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, p := range toSend {
+		if err := c.sendBatch(p.w, p.ops, p.cbs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Drain flushes and blocks until no operations are outstanding.
+func (c *Client) Drain() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for c.outstanding > 0 && c.failure == nil {
+		c.cond.Wait()
+	}
+	err := c.failure
+	c.mu.Unlock()
+	return err
+}
+
+// LastSeq returns the highest sequence number assigned so far.
+func (c *Client) LastSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq
+}
+
+// Committed returns the session's committed prefix and exceptions.
+func (c *Client) Committed() (uint64, []uint64) { return c.session.Committed() }
+
+// WaitCommitAll flushes, drains, and waits until everything issued so far is
+// committed.
+func (c *Client) WaitCommitAll(timeout time.Duration) error {
+	if err := c.Drain(); err != nil {
+		return err
+	}
+	return c.session.WaitCommit(c.LastSeq(), timeout)
+}
+
+// ---- transport ----
+
+func (c *Client) ownerOf(key []byte) (core.WorkerID, error) {
+	p := PartitionOf(key, c.cfg.Partitions)
+	c.ownersMu.RLock()
+	w, ok := c.owners[p]
+	c.ownersMu.RUnlock()
+	if ok {
+		return w, nil
+	}
+	w, err := c.meta.OwnerOf(p)
+	if err != nil {
+		return 0, err
+	}
+	c.ownersMu.Lock()
+	c.owners[p] = w
+	c.ownersMu.Unlock()
+	return w, nil
+}
+
+func (c *Client) invalidateOwners() {
+	c.ownersMu.Lock()
+	c.owners = make(map[uint64]core.WorkerID)
+	c.ownersMu.Unlock()
+}
+
+func (c *Client) addrOf(w core.WorkerID) (string, error) {
+	c.ownersMu.RLock()
+	a, ok := c.addrs[w]
+	c.ownersMu.RUnlock()
+	if ok {
+		return a, nil
+	}
+	members, err := c.meta.Members()
+	if err != nil {
+		return "", err
+	}
+	c.ownersMu.Lock()
+	for id, addr := range members {
+		c.addrs[id] = addr
+	}
+	a, ok = c.addrs[w]
+	c.ownersMu.Unlock()
+	if !ok || a == "" {
+		return "", fmt.Errorf("dfaster: no address for worker %d", w)
+	}
+	return a, nil
+}
+
+type sentBatch struct {
+	header libdpr.BatchHeader
+	ops    []wire.Op
+	cbs    []OpCallback
+	// retries counts BadOwner resends.
+	retries int
+}
+
+type workerConn struct {
+	id     core.WorkerID
+	conn   net.Conn
+	bw     *bufio.Writer
+	sendMu sync.Mutex
+
+	inflightMu sync.Mutex
+	inflight   []*sentBatch
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (wc *workerConn) close() {
+	wc.once.Do(func() {
+		close(wc.closed)
+		wc.conn.Close()
+	})
+}
+
+func (c *Client) connTo(w core.WorkerID) (*workerConn, error) {
+	c.connsMu.Lock()
+	defer c.connsMu.Unlock()
+	if wc, ok := c.conns[w]; ok {
+		select {
+		case <-wc.closed:
+			delete(c.conns, w)
+		default:
+			return wc, nil
+		}
+	}
+	addr, err := c.addrOf(w)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	wc := &workerConn{
+		id:     w,
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 1<<16),
+		closed: make(chan struct{}),
+	}
+	c.conns[w] = wc
+	go c.readLoop(wc)
+	return wc, nil
+}
+
+// sendBatch assigns sequence numbers and transmits a batch; the reader loop
+// resolves it. On failure the ops are resolved with error callbacks.
+func (c *Client) sendBatch(w core.WorkerID, ops []wire.Op, cbs []OpCallback) error {
+	h, err := c.session.NextBatch(len(ops))
+	if err != nil {
+		c.resolveError(ops, cbs)
+		c.recordFailure(err)
+		return err
+	}
+	c.mu.Lock()
+	if end := h.SeqStart + uint64(len(ops)) - 1; end > c.lastSeq {
+		c.lastSeq = end
+	}
+	c.mu.Unlock()
+	return c.transmit(w, &sentBatch{header: h, ops: ops, cbs: cbs})
+}
+
+func (c *Client) transmit(w core.WorkerID, sb *sentBatch) error {
+	wc, err := c.connTo(w)
+	if err != nil {
+		c.resolveError(sb.ops, sb.cbs)
+		return err
+	}
+	payload := wire.EncodeBatchRequest(&wire.BatchRequest{Header: sb.header, Ops: sb.ops})
+	wc.sendMu.Lock()
+	wc.inflightMu.Lock()
+	wc.inflight = append(wc.inflight, sb)
+	wc.inflightMu.Unlock()
+	err = wire.WriteFrame(wc.bw, wire.FrameBatchRequest, payload)
+	if err == nil {
+		err = wc.bw.Flush()
+	}
+	wc.sendMu.Unlock()
+	if err != nil {
+		wc.close()
+		return err
+	}
+	return nil
+}
+
+// readLoop resolves replies for one connection in FIFO order.
+func (c *Client) readLoop(wc *workerConn) {
+	r := bufio.NewReaderSize(wc.conn, 1<<16)
+	for {
+		tag, payload, err := wire.ReadFrame(r)
+		if err != nil {
+			break
+		}
+		wc.inflightMu.Lock()
+		if len(wc.inflight) == 0 {
+			wc.inflightMu.Unlock()
+			break // protocol violation
+		}
+		sb := wc.inflight[0]
+		wc.inflight = wc.inflight[1:]
+		wc.inflightMu.Unlock()
+
+		switch tag {
+		case wire.FrameBatchReply:
+			reply, err := wire.DecodeBatchReply(payload)
+			if err != nil {
+				c.resolveError(sb.ops, sb.cbs)
+				continue
+			}
+			c.completeBatch(wc.id, sb.header, reply, sb.cbs)
+		case wire.FrameError:
+			er, err := wire.DecodeError(payload)
+			if err != nil {
+				c.resolveError(sb.ops, sb.cbs)
+				continue
+			}
+			c.handleErrorReply(wc.id, sb, er)
+		default:
+			c.resolveError(sb.ops, sb.cbs)
+		}
+	}
+	wc.close()
+	// Fail any batches still in flight so Drain never hangs.
+	wc.inflightMu.Lock()
+	stranded := wc.inflight
+	wc.inflight = nil
+	wc.inflightMu.Unlock()
+	for _, sb := range stranded {
+		c.resolveError(sb.ops, sb.cbs)
+	}
+}
+
+// completeBatch feeds a reply into the session and fires callbacks.
+func (c *Client) completeBatch(w core.WorkerID, h libdpr.BatchHeader, reply *wire.BatchReply, cbs []OpCallback) error {
+	versions := make([]core.Version, len(reply.Results))
+	for i, r := range reply.Results {
+		versions[i] = r.Version
+	}
+	err := c.session.CompleteBatch(w, h, libdpr.BatchReply{
+		WorldLine: reply.WorldLine,
+		Versions:  versions,
+		Cut:       reply.Cut,
+	})
+	for i, cb := range cbs {
+		if cb != nil && i < len(reply.Results) {
+			cb(reply.Results[i])
+		}
+	}
+	c.mu.Lock()
+	c.outstanding -= len(cbs)
+	if err != nil && c.failure == nil {
+		c.failure = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return err
+}
+
+func (c *Client) handleErrorReply(w core.WorkerID, sb *sentBatch, er *wire.ErrorReply) {
+	switch er.Code {
+	case wire.ErrCodeBadOwner:
+		if sb.retries < c.cfg.RetryBadOwner {
+			sb.retries++
+			c.invalidateOwners()
+			time.Sleep(time.Millisecond) // ownership transfer in progress
+			owner, err := c.ownerOf(sb.ops[0].Key)
+			if err == nil {
+				// Resend the same batch (same header/seqs) to the new owner.
+				if c.transmit(owner, sb) == nil {
+					return
+				}
+			}
+		}
+		c.resolveError(sb.ops, sb.cbs)
+	case wire.ErrCodeRejected:
+		if err := c.session.NotifyWorldLine(er.WorldLine); err != nil {
+			c.recordFailure(err)
+		}
+		c.resolveError(sb.ops, sb.cbs)
+	default:
+		c.resolveError(sb.ops, sb.cbs)
+	}
+}
+
+// resolveError fires error callbacks and releases window slots.
+func (c *Client) resolveError(ops []wire.Op, cbs []OpCallback) {
+	for _, cb := range cbs {
+		if cb != nil {
+			cb(wire.OpResult{Status: wire.StatusError})
+		}
+	}
+	c.mu.Lock()
+	c.outstanding -= len(cbs)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *Client) recordFailure(err error) {
+	c.mu.Lock()
+	if c.failure == nil {
+		c.failure = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,473 @@
+// Package dfaster implements D-FASTER (paper §5): a distributed key-value
+// cache-store built from FasterKV shards (package kv) wrapped with libDPR.
+// Each worker owns a slice of the keyspace (virtual partitions, §5.3),
+// serves remote clients over the batched TCP protocol (package wire), and
+// supports co-located execution where application threads operate on the
+// local shard at memory speed (§5.2, evaluated in §7.3).
+package dfaster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/kv"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+	"dpr/internal/storage"
+	"dpr/internal/wire"
+)
+
+// PartitionOf maps a key to its virtual partition (hash partitioning, the
+// default scheme of §5.3).
+func PartitionOf(key []byte, partitions int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// Mix the high bits down so partition counts that are powers of two do
+	// not alias the bucket index computation.
+	h ^= h >> 33
+	return h % uint64(partitions)
+}
+
+// WorkerConfig parameterizes a D-FASTER worker.
+type WorkerConfig struct {
+	ID core.WorkerID
+	// ListenAddr is the TCP address to serve on ("" disables networking —
+	// co-located-only worker).
+	ListenAddr string
+	// CheckpointInterval is the periodic commit cadence (paper: 100ms).
+	CheckpointInterval time.Duration
+	// Partitions is the cluster-wide virtual partition count.
+	Partitions int
+	// Device is the durable storage backend.
+	Device storage.Device
+	// KV configures the underlying FasterKV instance.
+	KV kv.Config
+	// LeaseDuration guards against outdated ownership information (§5.3):
+	// each claimed partition is a lease the worker renews against the
+	// metadata store; when renewal fails (ownership moved, metadata
+	// unreachable) the worker stops serving the partition after the lease
+	// expires. 0 disables leasing (claims never expire).
+	LeaseDuration time.Duration
+}
+
+// Worker is one D-FASTER shard server.
+type Worker struct {
+	cfg   WorkerConfig
+	store *kv.Store
+	dpr   *libdpr.Worker
+	meta  metadata.Service
+
+	ownedMu sync.RWMutex
+	owned   map[uint64]time.Time // partition -> lease expiry (zero = no expiry)
+
+	ln       net.Listener
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewWorker builds and starts a worker (store, libDPR wrapper, listener).
+func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
+	if cfg.Partitions <= 0 {
+		return nil, errors.New("dfaster: Partitions must be positive")
+	}
+	return AdoptWorker(cfg, kv.NewStore(cfg.Device, cfg.KV), meta)
+}
+
+// AdoptWorker builds a worker around an existing FasterKV instance — the
+// restart path, where the store was reconstructed with kv.Recover before the
+// worker rejoins the cluster.
+func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Worker, error) {
+	if cfg.Partitions <= 0 {
+		return nil, errors.New("dfaster: Partitions must be positive")
+	}
+	w := &Worker{
+		cfg:   cfg,
+		store: store,
+		meta:  meta,
+		owned: make(map[uint64]time.Time),
+		stop:  make(chan struct{}),
+	}
+	addr := cfg.ListenAddr
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		w.ln = ln
+		addr = ln.Addr().String()
+	}
+	dw, err := libdpr.NewWorker(libdpr.WorkerConfig{
+		ID:                 cfg.ID,
+		Addr:               addr,
+		CheckpointInterval: cfg.CheckpointInterval,
+	}, store, meta)
+	if err != nil {
+		if w.ln != nil {
+			w.ln.Close()
+		}
+		store.Close()
+		return nil, err
+	}
+	w.dpr = dw
+	if w.ln != nil {
+		w.wg.Add(1)
+		go w.acceptLoop()
+	}
+	if cfg.LeaseDuration > 0 {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			t := time.NewTicker(cfg.LeaseDuration / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-t.C:
+					w.renewLeases()
+				}
+			}
+		}()
+	}
+	return w, nil
+}
+
+// ID implements cluster.RollbackTarget.
+func (w *Worker) ID() core.WorkerID { return w.cfg.ID }
+
+// Addr returns the worker's listen address ("" if co-located only).
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
+
+// Store exposes the underlying FasterKV (co-located applications and tests).
+func (w *Worker) Store() *kv.Store { return w.store }
+
+// DPR exposes the libDPR worker state.
+func (w *Worker) DPR() *libdpr.Worker { return w.dpr }
+
+// Rollback implements cluster.RollbackTarget.
+func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
+	return w.dpr.Rollback(wl, cut)
+}
+
+// ClaimPartitions registers this worker as the owner of the given virtual
+// partitions, both locally and in the metadata store. With leasing enabled,
+// the local claim is valid for LeaseDuration and renewed by the lease loop.
+func (w *Worker) ClaimPartitions(ps ...uint64) error {
+	for _, p := range ps {
+		if err := w.meta.SetOwner(p, w.cfg.ID); err != nil {
+			return err
+		}
+	}
+	expiry := w.leaseExpiry()
+	w.ownedMu.Lock()
+	for _, p := range ps {
+		w.owned[p] = expiry
+	}
+	w.ownedMu.Unlock()
+	return nil
+}
+
+// leaseExpiry returns the expiry for a fresh claim/renewal (zero time when
+// leasing is disabled).
+func (w *Worker) leaseExpiry() time.Time {
+	if w.cfg.LeaseDuration <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(w.cfg.LeaseDuration)
+}
+
+// Renounce drops local ownership of a partition immediately (the first step
+// of an ownership transfer: the key is briefly unowned and clients retry,
+// §5.3).
+func (w *Worker) Renounce(p uint64) {
+	w.ownedMu.Lock()
+	delete(w.owned, p)
+	w.ownedMu.Unlock()
+}
+
+// Owns reports whether the worker currently owns partition p (with a live
+// lease, if leasing is enabled).
+func (w *Worker) Owns(p uint64) bool {
+	w.ownedMu.RLock()
+	defer w.ownedMu.RUnlock()
+	return w.ownsLocked(p)
+}
+
+func (w *Worker) ownsLocked(p uint64) bool {
+	expiry, ok := w.owned[p]
+	if !ok {
+		return false
+	}
+	return expiry.IsZero() || time.Now().Before(expiry)
+}
+
+// renewLeases revalidates every claim against the metadata store, extending
+// leases the store still confirms and dropping partitions that moved.
+func (w *Worker) renewLeases() {
+	w.ownedMu.RLock()
+	ps := make([]uint64, 0, len(w.owned))
+	for p := range w.owned {
+		ps = append(ps, p)
+	}
+	w.ownedMu.RUnlock()
+	for _, p := range ps {
+		owner, err := w.meta.OwnerOf(p)
+		if err != nil {
+			continue // metadata hiccup: lease runs out on its own
+		}
+		w.ownedMu.Lock()
+		if owner == w.cfg.ID {
+			if _, still := w.owned[p]; still {
+				w.owned[p] = w.leaseExpiry()
+			}
+		} else {
+			delete(w.owned, p)
+		}
+		w.ownedMu.Unlock()
+	}
+}
+
+// TransferPartition moves partition p from this worker to another worker:
+// the old owner renounces locally, defers to the next checkpoint boundary so
+// ownership is static within versions (§5.3), then updates the metadata
+// store; the destination claims last.
+func (w *Worker) TransferPartition(p uint64, to *Worker) error {
+	if !w.Owns(p) {
+		return fmt.Errorf("dfaster: worker %d does not own partition %d", w.cfg.ID, p)
+	}
+	w.Renounce(p)
+	// Defer to a checkpoint boundary: force a version change so all
+	// operations this worker executed on the partition sit in versions
+	// strictly before the transfer.
+	boundary := w.store.CurrentVersion()
+	if err := w.store.BeginCommit(boundary); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for w.store.CurrentVersion() <= boundary {
+		if time.Now().After(deadline) {
+			return errors.New("dfaster: transfer checkpoint timed out")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return to.ClaimPartitions(p)
+}
+
+// Stop shuts the worker down (listener, libDPR loop, store).
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		if w.ln != nil {
+			w.ln.Close()
+		}
+	})
+	w.wg.Wait()
+	w.dpr.Stop()
+	w.store.Close()
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.stop:
+				return
+			default:
+				continue
+			}
+		}
+		w.wg.Add(1)
+		go w.serveConn(conn)
+	}
+}
+
+// serveConn handles one client connection: batches are processed in order;
+// each connection gets its own FasterKV session (§5.2: "when a session
+// operates on a worker, the worker creates a corresponding FASTER session").
+func (w *Worker) serveConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	sess := w.store.NewSession()
+	defer sess.Close()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		tag, payload, err := wire.ReadFrame(r)
+		if err != nil {
+			return
+		}
+		if tag != wire.FrameBatchRequest {
+			return
+		}
+		req, err := wire.DecodeBatchRequest(payload)
+		if err != nil {
+			return
+		}
+		reply, errReply := w.executeBatch(sess, req)
+		if errReply != nil {
+			if wire.WriteFrame(bw, wire.FrameError, wire.EncodeError(errReply)) != nil {
+				return
+			}
+		} else {
+			if wire.WriteFrame(bw, wire.FrameBatchReply, wire.EncodeBatchReply(reply)) != nil {
+				return
+			}
+		}
+		// Flush when no more batches are immediately available.
+		if r.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// executeBatch runs the full server-side pipeline for one batch: libDPR
+// admission, ownership validation, execution (with PENDING resolution),
+// dependency recording, and reply assembly. Shared by the network path and
+// the co-located path.
+func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
+	if _, err := w.dpr.AdmitBatch(req.Header); err != nil {
+		return nil, &wire.ErrorReply{
+			Code:      wire.ErrCodeRejected,
+			WorldLine: w.dpr.WorldLine(),
+			Message:   err.Error(),
+		}
+	}
+	// Ownership validation against the local view (§5.3).
+	w.ownedMu.RLock()
+	for _, op := range req.Ops {
+		if !w.ownsLocked(PartitionOf(op.Key, w.cfg.Partitions)) {
+			w.ownedMu.RUnlock()
+			return nil, &wire.ErrorReply{
+				Code:      wire.ErrCodeBadOwner,
+				WorldLine: w.dpr.WorldLine(),
+				Message:   fmt.Sprintf("key %q not owned by worker %d", op.Key, w.cfg.ID),
+			}
+		}
+	}
+	w.ownedMu.RUnlock()
+
+	results := make([]wire.OpResult, len(req.Ops))
+	pendingIdx := make(map[uint64]int) // serial -> op index
+	for i, op := range req.Ops {
+		switch op.Kind {
+		case wire.OpUpsert:
+			v, err := sess.Upsert(op.Key, op.Value)
+			if err != nil {
+				results[i] = wire.OpResult{Status: wire.StatusError}
+			} else {
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v}
+			}
+		case wire.OpDelete:
+			v, err := sess.Delete(op.Key)
+			if err != nil {
+				results[i] = wire.OpResult{Status: wire.StatusError}
+			} else {
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v}
+			}
+		case wire.OpRead:
+			val, status, v := sess.Read(op.Key, uint64(i))
+			switch status {
+			case kv.StatusOK:
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v, Value: val}
+			case kv.StatusNotFound:
+				results[i] = wire.OpResult{Status: wire.StatusNotFound, Version: v}
+			case kv.StatusPending:
+				pendingIdx[uint64(i)] = i
+			default:
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: v}
+			}
+		case wire.OpRMW:
+			var delta uint64
+			if len(op.Value) >= 8 {
+				delta = uint64(op.Value[0]) | uint64(op.Value[1])<<8 | uint64(op.Value[2])<<16 |
+					uint64(op.Value[3])<<24 | uint64(op.Value[4])<<32 | uint64(op.Value[5])<<40 |
+					uint64(op.Value[6])<<48 | uint64(op.Value[7])<<56
+			}
+			status, v, newVal := sess.RMW(op.Key, delta, uint64(i))
+			switch status {
+			case kv.StatusOK:
+				val := make([]byte, 8)
+				for j := 0; j < 8; j++ {
+					val[j] = byte(newVal >> (8 * j))
+				}
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v, Value: val}
+			case kv.StatusPending:
+				pendingIdx[uint64(i)] = i
+			default:
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: v}
+			}
+		default:
+			results[i] = wire.OpResult{Status: wire.StatusError}
+		}
+	}
+	// Resolve PENDING operations before replying: the batch is the unit of
+	// response on the wire. (Relaxed DPR still applies within the session:
+	// the client may have many batches outstanding.)
+	if len(pendingIdx) > 0 {
+		for _, c := range sess.CompletePending(true) {
+			i, ok := pendingIdx[c.Serial]
+			if !ok {
+				continue
+			}
+			switch c.Status {
+			case kv.StatusOK:
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: c.Version, Value: c.Value}
+			case kv.StatusNotFound:
+				results[i] = wire.OpResult{Status: wire.StatusNotFound, Version: c.Version}
+			default:
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: c.Version}
+			}
+		}
+	}
+	// Record the batch's cross-shard dependency under every version its
+	// operations executed in (§3.1: dependencies are tracked per version).
+	versions := make([]core.Version, len(results))
+	seen := make(map[core.Version]bool, 2)
+	for i, res := range results {
+		versions[i] = res.Version
+		if res.Version != 0 && !seen[res.Version] {
+			seen[res.Version] = true
+			w.dpr.RecordDependency(res.Version, req.Header.Dep)
+		}
+	}
+	dprReply := w.dpr.Reply(versions)
+	return &wire.BatchReply{
+		WorldLine: dprReply.WorldLine,
+		Results:   results,
+		Cut:       dprReply.Cut,
+	}, nil
+}
+
+// ExecuteLocal is the co-located execution path (§5.2): application threads
+// on the same machine call straight into the worker, skipping the network.
+// The caller supplies its own FasterKV session.
+func (w *Worker) ExecuteLocal(sess *kv.Session, req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
+	return w.executeBatch(sess, req)
+}

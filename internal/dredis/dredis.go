@@ -1,0 +1,601 @@
+// Package dredis implements D-Redis (paper §6): an *unmodified* Redis-like
+// store (package redisclone) given DPR guarantees by wrapping it with libDPR.
+// The wrapper holds one latch: exclusive around BGSAVE-based commits, shared
+// around batch execution, so every operation in a batch lands in a single
+// version. Restore restarts the underlying instance from the snapshot
+// matching the requested version — exactly the integration strategy the
+// paper describes for stock Redis.
+//
+// The package also provides the two baselines of Figures 17/18: a plain
+// server exposing redisclone over the same wire protocol without any DPR
+// work, and a pass-through proxy, which isolates the cost of the extra
+// network hop from the cost of the DPR algorithm itself.
+package dredis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+	"dpr/internal/redisclone"
+	"dpr/internal/storage"
+	"dpr/internal/wire"
+)
+
+// stateObject adapts an unmodified redisclone.Server to libdpr.StateObject.
+type stateObject struct {
+	device storage.Device
+	prefix string
+	aof    redisclone.AOFMode
+
+	// latch: exclusive for BGSAVE (commit) and restart (restore), shared
+	// for batch execution (§6: "There is one latch associated with the
+	// wrapper").
+	latch sync.RWMutex
+	srv   *redisclone.Server
+
+	current   atomic.Uint64 // version new batches execute in
+	persisted atomic.Uint64
+
+	// saves maps version -> redisclone save id, durably mirrored so Restore
+	// can find the right snapshot after a process restart.
+	savesMu sync.Mutex
+	saves   map[core.Version]uint64
+	// watch queue: commits whose BGSAVE has not become durable yet.
+	watching []versionSave
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type versionSave struct {
+	version core.Version
+	save    uint64
+}
+
+func newStateObject(device storage.Device, prefix string, aof redisclone.AOFMode) *stateObject {
+	so := &stateObject{
+		device: device,
+		prefix: prefix,
+		aof:    aof,
+		srv:    redisclone.New(redisclone.Config{Device: device, Prefix: prefix, AOF: aof}),
+		saves:  map[core.Version]uint64{0: 0},
+		stop:   make(chan struct{}),
+	}
+	so.current.Store(1)
+	so.wg.Add(1)
+	go so.watchSaves()
+	return so
+}
+
+// CurrentVersion implements libdpr.StateObject.
+func (so *stateObject) CurrentVersion() core.Version { return core.Version(so.current.Load()) }
+
+// PersistedVersion implements core.StateObject.
+func (so *stateObject) PersistedVersion() core.Version { return core.Version(so.persisted.Load()) }
+
+// BeginCommit implements core.StateObject: under the exclusive latch, issue
+// BGSAVE (which captures a consistent snapshot immediately and persists in
+// the background) and advance the version.
+func (so *stateObject) BeginCommit(v core.Version) error {
+	so.latch.Lock()
+	defer so.latch.Unlock()
+	cur := core.Version(so.current.Load())
+	if cur > v {
+		return nil // a later commit already covers v
+	}
+	id, err := so.srv.BgSave()
+	if err != nil {
+		return err
+	}
+	so.savesMu.Lock()
+	so.saves[v] = id
+	// Versions skipped by a fast-forward share the same snapshot.
+	for missing := cur; missing < v; missing++ {
+		if _, ok := so.saves[missing]; !ok {
+			so.saves[missing] = id
+		}
+	}
+	so.watching = append(so.watching, versionSave{version: v, save: id})
+	so.savesMu.Unlock()
+	so.current.Store(uint64(v + 1))
+	return nil
+}
+
+// watchSaves polls LASTSAVE (as the paper's wrapper does) to learn when
+// snapshots become durable, then advances the persisted version.
+func (so *stateObject) watchSaves() {
+	defer so.wg.Done()
+	t := time.NewTicker(500 * time.Microsecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-so.stop:
+			return
+		case <-t.C:
+			so.latch.RLock()
+			last := so.srv.LastSave()
+			so.latch.RUnlock()
+			so.savesMu.Lock()
+			for len(so.watching) > 0 && so.watching[0].save <= last {
+				v := so.watching[0].version
+				if uint64(v) > so.persisted.Load() {
+					so.persisted.Store(uint64(v))
+				}
+				so.watching = so.watching[1:]
+			}
+			so.savesMu.Unlock()
+		}
+	}
+}
+
+// Restore implements core.StateObject by restarting the wrapped instance
+// from the snapshot of version v.
+func (so *stateObject) Restore(v core.Version) error {
+	so.latch.Lock()
+	defer so.latch.Unlock()
+	so.savesMu.Lock()
+	save, ok := so.saves[v]
+	if !ok {
+		// Find the newest snapshot at or below v.
+		var best core.Version
+		for sv, id := range so.saves {
+			if sv <= v && sv >= best {
+				best, save, ok = sv, id, true
+			}
+		}
+	}
+	// Drop bookkeeping beyond v.
+	for sv := range so.saves {
+		if sv > v {
+			delete(so.saves, sv)
+		}
+	}
+	so.watching = nil
+	so.savesMu.Unlock()
+	if !ok {
+		return fmt.Errorf("dredis: no snapshot at or below version %d", v)
+	}
+	so.srv.Stop()
+	srv, err := redisclone.Restart(redisclone.Config{Device: so.device, Prefix: so.prefix, AOF: so.aof}, save)
+	if err != nil {
+		return err
+	}
+	so.srv = srv
+	cur := core.Version(so.current.Load())
+	so.current.Store(uint64(cur + 1))
+	if so.persisted.Load() > uint64(v) {
+		so.persisted.Store(uint64(v))
+	}
+	return nil
+}
+
+func (so *stateObject) close() {
+	so.stopOnce.Do(func() { close(so.stop) })
+	so.wg.Wait()
+	so.latch.Lock()
+	so.srv.Stop()
+	so.latch.Unlock()
+}
+
+var _ libdpr.StateObject = (*stateObject)(nil)
+
+// WorkerConfig parameterizes a D-Redis worker (proxy + instance).
+type WorkerConfig struct {
+	ID                 core.WorkerID
+	ListenAddr         string
+	CheckpointInterval time.Duration
+	Device             storage.Device
+	// AOF lets Figure 19 run the same worker in synchronous-recoverability
+	// mode (AOFAlways) or eventual mode; leave AOFOff for DPR.
+	AOF redisclone.AOFMode
+}
+
+// Worker is one D-Redis shard: an unmodified redisclone instance fronted by
+// the libDPR proxy.
+type Worker struct {
+	cfg  WorkerConfig
+	so   *stateObject
+	dpr  *libdpr.Worker
+	meta metadata.Service
+
+	ln       net.Listener
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewWorker starts a D-Redis worker.
+func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
+	so := newStateObject(cfg.Device, fmt.Sprintf("dredis-%d", cfg.ID), cfg.AOF)
+	w := &Worker{cfg: cfg, so: so, meta: meta, stop: make(chan struct{})}
+	addr := cfg.ListenAddr
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			so.close()
+			return nil, err
+		}
+		w.ln = ln
+		addr = ln.Addr().String()
+	}
+	dw, err := libdpr.NewWorker(libdpr.WorkerConfig{
+		ID:                 cfg.ID,
+		Addr:               addr,
+		CheckpointInterval: cfg.CheckpointInterval,
+	}, so, meta)
+	if err != nil {
+		if w.ln != nil {
+			w.ln.Close()
+		}
+		so.close()
+		return nil, err
+	}
+	w.dpr = dw
+	if w.ln != nil {
+		w.wg.Add(1)
+		go w.acceptLoop()
+	}
+	return w, nil
+}
+
+// ID implements cluster.RollbackTarget.
+func (w *Worker) ID() core.WorkerID { return w.cfg.ID }
+
+// Addr returns the listen address.
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
+
+// Rollback implements cluster.RollbackTarget.
+func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
+	return w.dpr.Rollback(wl, cut)
+}
+
+// DPR exposes the libDPR worker.
+func (w *Worker) DPR() *libdpr.Worker { return w.dpr }
+
+// Stop shuts down the worker.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		if w.ln != nil {
+			w.ln.Close()
+		}
+	})
+	w.wg.Wait()
+	w.dpr.Stop()
+	w.so.close()
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.stop:
+				return
+			default:
+				continue
+			}
+		}
+		w.wg.Add(1)
+		go w.serveConn(conn)
+	}
+}
+
+func (w *Worker) serveConn(conn net.Conn) {
+	defer w.wg.Done()
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		tag, payload, err := wire.ReadFrame(r)
+		if err != nil || tag != wire.FrameBatchRequest {
+			return
+		}
+		req, err := wire.DecodeBatchRequest(payload)
+		if err != nil {
+			return
+		}
+		reply, errReply := w.ExecuteBatch(req)
+		if errReply != nil {
+			err = wire.WriteFrame(bw, wire.FrameError, wire.EncodeError(errReply))
+		} else {
+			err = wire.WriteFrame(bw, wire.FrameBatchReply, wire.EncodeBatchReply(reply))
+		}
+		if err != nil {
+			return
+		}
+		if r.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// ExecuteBatch runs the server-side libDPR pipeline for one batch: admission,
+// shared-latch execution on the unmodified store, dependency recording, and
+// reply assembly.
+func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
+	if _, err := w.dpr.AdmitBatch(req.Header); err != nil {
+		return nil, &wire.ErrorReply{
+			Code:      wire.ErrCodeRejected,
+			WorldLine: w.dpr.WorldLine(),
+			Message:   err.Error(),
+		}
+	}
+	// Shared latch: commits (exclusive) cannot interleave, so the whole
+	// batch executes in one version.
+	w.so.latch.RLock()
+	version := core.Version(w.so.current.Load())
+	results := make([]wire.OpResult, len(req.Ops))
+	for i, op := range req.Ops {
+		switch op.Kind {
+		case wire.OpUpsert:
+			if err := w.so.srv.Set(string(op.Key), op.Value); err != nil {
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: version}
+			} else {
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: version}
+			}
+		case wire.OpRead:
+			v, ok, err := w.so.srv.Get(string(op.Key))
+			switch {
+			case err != nil:
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: version}
+			case !ok:
+				results[i] = wire.OpResult{Status: wire.StatusNotFound, Version: version}
+			default:
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: version, Value: v}
+			}
+		case wire.OpDelete:
+			if _, err := w.so.srv.Del(string(op.Key)); err != nil {
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: version}
+			} else {
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: version}
+			}
+		case wire.OpRMW:
+			var delta int64
+			if len(op.Value) >= 8 {
+				delta = int64(binary.LittleEndian.Uint64(op.Value))
+			}
+			if _, err := w.so.srv.Incr(string(op.Key), delta); err != nil {
+				results[i] = wire.OpResult{Status: wire.StatusError, Version: version}
+			} else {
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: version}
+			}
+		default:
+			results[i] = wire.OpResult{Status: wire.StatusError, Version: version}
+		}
+	}
+	w.so.latch.RUnlock()
+
+	w.dpr.RecordDependency(version, req.Header.Dep)
+	versions := make([]core.Version, len(results))
+	for i := range results {
+		versions[i] = results[i].Version
+	}
+	dprReply := w.dpr.Reply(versions)
+	return &wire.BatchReply{
+		WorldLine: dprReply.WorldLine,
+		Results:   results,
+		Cut:       dprReply.Cut,
+	}, nil
+}
+
+// ---- baselines for Figures 17/18 ----
+
+// PlainServer serves a redisclone instance over the wire protocol with no
+// DPR processing at all — the "Redis" baseline.
+type PlainServer struct {
+	srv      *redisclone.Server
+	ln       net.Listener
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewPlainServer starts a plain server on addr with persistence disabled.
+func NewPlainServer(addr string, device storage.Device, prefix string) (*PlainServer, error) {
+	return NewPlainServerAOF(addr, device, prefix, redisclone.AOFOff)
+}
+
+// NewPlainServerAOF starts a plain server with the given append-only-file
+// mode; AOFAlways yields Redis's synchronous recoverability, AOFEverySec the
+// eventual level (Figure 19 baselines).
+func NewPlainServerAOF(addr string, device storage.Device, prefix string, aof redisclone.AOFMode) (*PlainServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &PlainServer{
+		srv:  redisclone.New(redisclone.Config{Device: device, Prefix: prefix, AOF: aof}),
+		ln:   ln,
+		stop: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listen address.
+func (p *PlainServer) Addr() string { return p.ln.Addr().String() }
+
+// Stop shuts the server down.
+func (p *PlainServer) Stop() {
+	p.stopOnce.Do(func() { close(p.stop); p.ln.Close() })
+	p.wg.Wait()
+	p.srv.Stop()
+}
+
+func (p *PlainServer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.stop:
+				return
+			default:
+				continue
+			}
+		}
+		p.wg.Add(1)
+		go p.serveConn(conn)
+	}
+}
+
+func (p *PlainServer) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		tag, payload, err := wire.ReadFrame(r)
+		if err != nil || tag != wire.FrameBatchRequest {
+			return
+		}
+		req, err := wire.DecodeBatchRequest(payload)
+		if err != nil {
+			return
+		}
+		results := make([]wire.OpResult, len(req.Ops))
+		for i, op := range req.Ops {
+			switch op.Kind {
+			case wire.OpUpsert:
+				p.srv.Set(string(op.Key), op.Value)
+				results[i] = wire.OpResult{Status: wire.StatusOK}
+			case wire.OpRead:
+				v, ok, _ := p.srv.Get(string(op.Key))
+				if ok {
+					results[i] = wire.OpResult{Status: wire.StatusOK, Value: v}
+				} else {
+					results[i] = wire.OpResult{Status: wire.StatusNotFound}
+				}
+			case wire.OpDelete:
+				p.srv.Del(string(op.Key))
+				results[i] = wire.OpResult{Status: wire.StatusOK}
+			case wire.OpRMW:
+				var delta int64
+				if len(op.Value) >= 8 {
+					delta = int64(binary.LittleEndian.Uint64(op.Value))
+				}
+				p.srv.Incr(string(op.Key), delta)
+				results[i] = wire.OpResult{Status: wire.StatusOK}
+			default:
+				results[i] = wire.OpResult{Status: wire.StatusError}
+			}
+		}
+		reply := &wire.BatchReply{Results: results}
+		if wire.WriteFrame(bw, wire.FrameBatchReply, wire.EncodeBatchReply(reply)) != nil {
+			return
+		}
+		if r.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// Proxy is a byte-level pass-through TCP proxy, the "Redis + Proxy" control
+// of §7.5 that isolates the extra network hop from the DPR algorithm.
+type Proxy struct {
+	ln       net.Listener
+	backend  string
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewProxy listens on addr and forwards every connection to backend.
+func NewProxy(addr, backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, backend: backend, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stop shuts the proxy down.
+func (p *Proxy) Stop() {
+	p.stopOnce.Do(func() { close(p.stop); p.ln.Close() })
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.stop:
+				return
+			default:
+				continue
+			}
+		}
+		back, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if tc, ok := back.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		p.wg.Add(2)
+		go p.pipe(conn, back)
+		go p.pipe(back, conn)
+	}
+}
+
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

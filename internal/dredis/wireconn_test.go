@@ -1,0 +1,50 @@
+package dredis_test
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"dpr/internal/wire"
+)
+
+// wireConn is a minimal raw-protocol client used to test the plain server
+// and proxy baselines without the full dfaster client.
+type wireConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dialWire(t *testing.T, addr string) *wireConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &wireConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+func (c *wireConn) roundTrip(t *testing.T, req *wire.BatchRequest) *wire.BatchReply {
+	t.Helper()
+	if err := wire.WriteFrame(c.w, wire.FrameBatchRequest, wire.EncodeBatchRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tag, payload, err := wire.ReadFrame(c.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != wire.FrameBatchReply {
+		t.Fatalf("unexpected frame tag %d", tag)
+	}
+	reply, err := wire.DecodeBatchReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func (c *wireConn) close() { c.conn.Close() }

@@ -1,0 +1,169 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEnterExitBasics(t *testing.T) {
+	tb := NewTable()
+	s := tb.Register()
+	if got := s.Era(); got != 0 {
+		t.Fatalf("inactive slot era should be 0, got %d", got)
+	}
+	era := s.Enter()
+	if era != 1 || s.Era() != 1 {
+		t.Fatalf("expected era 1, got %d/%d", era, s.Era())
+	}
+	s.Exit()
+	if s.Era() != 0 {
+		t.Fatal("exit must deactivate slot")
+	}
+}
+
+func TestBumpAndAllObserved(t *testing.T) {
+	tb := NewTable()
+	a := tb.Register()
+	b := tb.Register()
+	a.Enter()
+	next := tb.Bump() // era 2
+	if tb.AllObserved(next) {
+		t.Fatal("a is active in era 1; era 2 not yet safe")
+	}
+	a.Exit()
+	if !tb.AllObserved(next) {
+		t.Fatal("all active slots drained; era 2 should be safe")
+	}
+	// New entries observe the new era and do not block safety.
+	b.Enter()
+	if !tb.AllObserved(next) {
+		t.Fatal("entry at current era must not block")
+	}
+	b.Exit()
+}
+
+func TestUnregisterStopsBlocking(t *testing.T) {
+	tb := NewTable()
+	s := tb.Register()
+	s.Enter()
+	next := tb.Bump()
+	if tb.AllObserved(next) {
+		t.Fatal("active stale slot must block")
+	}
+	tb.Unregister(s)
+	if !tb.AllObserved(next) {
+		t.Fatal("unregistered slot must not block")
+	}
+}
+
+func TestActiveCount(t *testing.T) {
+	tb := NewTable()
+	a := tb.Register()
+	b := tb.Register()
+	if tb.ActiveCount() != 0 {
+		t.Fatal("no active slots yet")
+	}
+	a.Enter()
+	b.Enter()
+	if tb.ActiveCount() != 2 {
+		t.Fatalf("expected 2 active, got %d", tb.ActiveCount())
+	}
+	a.Exit()
+	if tb.ActiveCount() != 1 {
+		t.Fatalf("expected 1 active, got %d", tb.ActiveCount())
+	}
+	b.Exit()
+}
+
+// TestConcurrentSafety drives many goroutines entering/exiting while a
+// coordinator bumps eras and waits for safety; verifies no operation that
+// entered before a bump is ever considered drained while still active.
+func TestConcurrentSafety(t *testing.T) {
+	tb := NewTable()
+	const goroutines = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+
+	type opState struct {
+		era  uint64
+		done atomic.Bool
+	}
+	var mu sync.Mutex
+	inflight := make(map[*opState]bool)
+
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slot := tb.Register()
+			defer tb.Unregister(slot)
+			for !stop.Load() {
+				era := slot.Enter()
+				st := &opState{era: era}
+				mu.Lock()
+				inflight[st] = true
+				mu.Unlock()
+				// simulated work
+				for j := 0; j < 100; j++ {
+					_ = j
+				}
+				st.done.Store(true)
+				mu.Lock()
+				delete(inflight, st)
+				mu.Unlock()
+				slot.Exit()
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		target := tb.Bump()
+		for !tb.AllObserved(target) {
+			time.Sleep(time.Microsecond)
+		}
+		// Safety: no in-flight op from an era before target may still be
+		// running (they all must have drained or entered at >= target).
+		mu.Lock()
+		for st := range inflight {
+			if st.era < target && !st.done.Load() {
+				violations.Add(1)
+			}
+		}
+		mu.Unlock()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d epoch safety violations", v)
+	}
+}
+
+func BenchmarkEnterExit(b *testing.B) {
+	tb := NewTable()
+	s := tb.Register()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Enter()
+		s.Exit()
+	}
+}
+
+func BenchmarkAllObserved(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < 64; i++ {
+		s := tb.Register()
+		s.Enter()
+		s.Exit()
+	}
+	target := tb.Bump()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tb.AllObserved(target) {
+			b.Fatal("should be safe")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dpr/internal/storage"
+)
+
+func benchStore(b *testing.B) (*Store, *Session) {
+	b.Helper()
+	s := NewStore(storage.NewSink("bench", storage.NullProfile), Config{BucketCount: 1 << 16})
+	b.Cleanup(s.Close)
+	sess := s.NewSession()
+	b.Cleanup(sess.Close)
+	return s, sess
+}
+
+func BenchmarkUpsert(b *testing.B) {
+	_, sess := benchStore(b)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	val := []byte("value-xx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Upsert(keys[i&1023], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpsertInPlace(b *testing.B) {
+	_, sess := benchStore(b)
+	key := []byte("hot-key")
+	val := []byte("value-xx")
+	sess.Upsert(key, val)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Upsert(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	_, sess := benchStore(b)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+		sess.Upsert(keys[i], []byte("value-xx"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, status, _ := sess.Read(keys[i&1023], 0); status != StatusOK {
+			b.Fatal(status)
+		}
+	}
+}
+
+func BenchmarkRMW(b *testing.B) {
+	_, sess := benchStore(b)
+	key := []byte("counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if status, _, _ := sess.RMW(key, 1, 0); status != StatusOK {
+			b.Fatal(status)
+		}
+	}
+}
+
+func BenchmarkUpsertParallel(b *testing.B) {
+	s := NewStore(storage.NewSink("bench", storage.NullProfile), Config{BucketCount: 1 << 16})
+	b.Cleanup(s.Close)
+	val := []byte("value-xx")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := s.NewSession()
+		defer sess.Close()
+		i := 0
+		key := make([]byte, 8)
+		for pb.Next() {
+			for j := 0; j < 8; j++ {
+				key[j] = byte(i >> (j * 4))
+			}
+			if _, err := sess.Upsert(key, val); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkUpsertDuringCheckpoints measures the sustained-write cost while
+// the CPR state machine cycles continuously — the paper's core claim is that
+// this stays near the no-checkpoint cost.
+func BenchmarkUpsertDuringCheckpoints(b *testing.B) {
+	s := NewStore(storage.NewSink("bench", storage.LocalSSDProfile), Config{BucketCount: 1 << 16})
+	b.Cleanup(s.Close)
+	sess := s.NewSession()
+	b.Cleanup(sess.Close)
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.BeginCommit(s.CurrentVersion())
+			}
+		}
+	}()
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+	}
+	val := []byte("value-xx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Upsert(keys[i&1023], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	s := NewStore(storage.NewSink("bench", storage.NullProfile), Config{BucketCount: 1 << 12})
+	b.Cleanup(s.Close)
+	sess := s.NewSession()
+	b.Cleanup(sess.Close)
+	for i := 0; i < 10000; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("key-%05d", i)), []byte("value-xx"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := s.CurrentVersion()
+		if err := s.BeginCommit(target); err != nil {
+			b.Fatal(err)
+		}
+		for s.PersistedVersion() < target {
+			time.Sleep(10 * time.Microsecond)
+		}
+		// A little churn so the next checkpoint has work.
+		sess.Upsert([]byte("churn"), []byte("value-xx"))
+	}
+}

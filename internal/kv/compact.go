@@ -1,0 +1,107 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"dpr/internal/core"
+)
+
+// Log compaction (FASTER's ShiftBeginAddress + copy-forward): the log grows
+// forever under RCU updates; Compact reclaims the dead prefix by copying
+// records that are still live (the newest visible version of their key) to
+// the tail and advancing the begin address past the scanned region. Chain
+// order makes this safe: live records always sit closer to the chain head
+// than any record below the begin address, so traversals simply stop there.
+//
+// Compaction runs as a state-machine-adjacent operation: it serializes with
+// checkpoints and rollbacks via smMu, performs per-bucket work under the
+// bucket locks, and releases slab memory only after an epoch drain.
+
+// Compact scans the log prefix [begin, upTo), copies live records to the
+// tail, and advances the begin address to upTo. upTo is clamped to the
+// read-only boundary (only frozen regions compact) and must not exceed it.
+// Returns the number of records copied forward and the bytes reclaimed.
+func (s *Store) Compact(upTo int64) (copied int, reclaimed int64, err error) {
+	s.smMu.Lock()
+	defer s.smMu.Unlock()
+	s.purgeWG.Wait()
+	return s.compactLocked(upTo)
+}
+
+// compactLocked is Compact's body; the caller holds smMu with no PURGE in
+// flight.
+func (s *Store) compactLocked(upTo int64) (copied int, reclaimed int64, err error) {
+	begin := s.log.begin.Load()
+	readOnly := s.log.readOnly.Load()
+	if upTo > readOnly {
+		upTo = readOnly
+	}
+	if upTo <= begin {
+		return 0, 0, nil
+	}
+	ranges := *s.rolledBack.Load()
+
+	// Copy-forward pass: for each record in the compaction range, decide
+	// liveness and copy under the owning bucket lock.
+	err = s.log.scan(begin, upTo, func(addr int64, r recordView) bool {
+		key := r.key()
+		b := s.index.bucketFor(key)
+		mu := s.index.lock(b)
+		mu.Lock()
+		defer mu.Unlock()
+		// Walk from the chain head: the first visible record for this key
+		// is the live one. If that is this record, copy it forward.
+		cur := s.index.head(b)
+		for cur != nilAddress {
+			cr, ok := s.log.view(cur)
+			if !ok {
+				break // below memory head: older than addr, cannot shadow it
+			}
+			if string(cr.key()) == string(key) && !cr.invalid() &&
+				!rangesContain(ranges, core.Version(cr.version())) {
+				if cur == addr && !cr.tombstone() {
+					// Live: copy to the tail preserving the version stamp.
+					rec := s.log.writeRecord(s.index.head(b), cr.version(),
+						false, key, cr.value(), cr.valLen())
+					s.index.setHead(b, rec.addr)
+					copied++
+				}
+				// Live tombstones in the compaction range are simply
+				// dropped: absence of the key is the same result.
+				break
+			}
+			cur = cr.prev()
+		}
+		return true
+	})
+	if err != nil {
+		return copied, 0, fmt.Errorf("kv: compact scan: %w", err)
+	}
+
+	// Advance begin; everything below is now garbage. Flushing below begin
+	// is pointless, so the flushed boundary jumps forward too.
+	s.log.begin.Store(upTo)
+	for {
+		f := s.log.flushedUntil.Load()
+		if f >= upTo || s.log.flushedUntil.CompareAndSwap(f, upTo) {
+			break
+		}
+	}
+	oldHead := s.log.advanceHead(upTo)
+	// Wait for every operation that might hold a view below upTo, then
+	// release the slab memory.
+	s.waitDrain()
+	s.log.releaseSlabs(oldHead, s.log.head.Load())
+	return copied, upTo - begin, nil
+}
+
+// BeginAddress returns the log's begin address (everything below has been
+// compacted away).
+func (s *Store) BeginAddress() int64 { return s.log.begin.Load() }
+
+// LogSize returns the logical size of the live log region.
+func (s *Store) LogSize() int64 { return s.log.tail.Load() - s.log.begin.Load() }
+
+// ErrCompactRange is returned for invalid compaction targets.
+var ErrCompactRange = errors.New("kv: invalid compaction range")

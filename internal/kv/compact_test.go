@@ -1,0 +1,225 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dpr/internal/storage"
+)
+
+func TestCompactReclaimsDeadPrefix(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, Config{BucketCount: 1 << 8})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	// Churn: overwrite a small key set many times so most of the log is
+	// dead versions.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			sess.Upsert([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("r%02d-%02d", round, i)))
+		}
+	}
+	sess.Delete([]byte("k00"))
+	// Freeze the prefix with a checkpoint.
+	target := s.CurrentVersion()
+	s.BeginCommit(target)
+	waitPersisted(t, s, target)
+	sizeBefore := s.LogSize()
+
+	copied, reclaimed, err := s.Compact(s.TailAddress())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	// Only ~19 live records (k00 deleted) should be copied forward.
+	if copied < 15 || copied > 25 {
+		t.Fatalf("copied %d records, expected ~19", copied)
+	}
+	if s.LogSize() >= sizeBefore {
+		t.Fatalf("log did not shrink: %d -> %d", sizeBefore, s.LogSize())
+	}
+	if s.BeginAddress() == 0 {
+		t.Fatal("begin address did not advance")
+	}
+	// Every live key still resolves to its newest value.
+	for i := 1; i < 20; i++ {
+		got := mustRead(t, sess, fmt.Sprintf("k%02d", i))
+		if string(got) != fmt.Sprintf("r49-%02d", i) {
+			t.Fatalf("k%02d = %q after compaction", i, got)
+		}
+	}
+	// The deleted key stays deleted (its tombstone was dropped, not its
+	// older values resurrected).
+	if _, status, _ := sess.Read([]byte("k00"), 0); status != StatusNotFound {
+		t.Fatalf("deleted key resurrected by compaction: %v", status)
+	}
+}
+
+func TestCompactThenCheckpointAndRecover(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, Config{BucketCount: 1 << 8})
+	sess := s.NewSession()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 10; i++ {
+			sess.Upsert([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("r%d", round)))
+		}
+	}
+	s.BeginCommit(1)
+	waitPersisted(t, s, 1)
+	if _, _, err := s.Compact(s.TailAddress()); err != nil {
+		t.Fatal(err)
+	}
+	// New writes, another checkpoint: its metadata records the new begin.
+	sess.Upsert([]byte("post"), []byte("compaction"))
+	target := s.CurrentVersion()
+	s.BeginCommit(target)
+	waitPersisted(t, s, target)
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(dev, Config{BucketCount: 1 << 8}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	for i := 0; i < 10; i++ {
+		got := mustRead(t, rs, fmt.Sprintf("k%d", i))
+		if string(got) != "r19" {
+			t.Fatalf("k%d = %q after recover-from-compacted-log", i, got)
+		}
+	}
+	if got := mustRead(t, rs, "post"); string(got) != "compaction" {
+		t.Fatalf("post = %q", got)
+	}
+	if r.BeginAddress() == 0 {
+		t.Fatal("recovered store lost the begin address")
+	}
+}
+
+func TestCompactConcurrentTraffic(t *testing.T) {
+	s := NewStore(storage.NewNull(), Config{BucketCount: 1 << 8})
+	defer s.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("g%d-%d", g, i%16))
+				if i%4 == 0 {
+					sess.Read(k, 0)
+				} else {
+					sess.Upsert(k, []byte(fmt.Sprintf("%d", i)))
+				}
+				i++
+			}
+		}(g)
+	}
+	for round := 0; round < 3; round++ {
+		time.Sleep(10 * time.Millisecond)
+		target := s.CurrentVersion()
+		s.BeginCommit(target)
+		waitPersisted(t, s, target)
+		if _, _, err := s.Compact(s.TailAddress()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Post-compaction, every key resolves to a recent value.
+	sess := s.NewSession()
+	defer sess.Close()
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 16; i++ {
+			if _, status, _ := sess.Read([]byte(fmt.Sprintf("g%d-%d", g, i)), 0); status == StatusError {
+				t.Fatalf("g%d-%d unreadable after concurrent compaction", g, i)
+			}
+		}
+	}
+}
+
+func TestCompactRespectsRolledBackVersions(t *testing.T) {
+	s := NewStore(storage.NewNull(), Config{BucketCount: 64})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert([]byte("k"), []byte("v1"))
+	s.BeginCommit(1)
+	waitPersisted(t, s, 1)
+	sess.Upsert([]byte("k"), []byte("doomed"))
+	if err := s.Restore(1); err != nil {
+		t.Fatal(err)
+	}
+	target := s.CurrentVersion()
+	s.BeginCommit(target)
+	waitPersisted(t, s, target)
+	if _, _, err := s.Compact(s.TailAddress()); err != nil {
+		t.Fatal(err)
+	}
+	// The live version is v1; the rolled-back one must not be copied.
+	if got := mustRead(t, sess, "k"); string(got) != "v1" {
+		t.Fatalf("got %q after compaction over rolled-back version", got)
+	}
+}
+
+func TestCompactNoopOnEmptyRange(t *testing.T) {
+	s := NewStore(storage.NewNull(), Config{})
+	defer s.Close()
+	copied, reclaimed, err := s.Compact(0)
+	if err != nil || copied != 0 || reclaimed != 0 {
+		t.Fatalf("empty compact: %d %d %v", copied, reclaimed, err)
+	}
+	// upTo beyond readOnly clamps (nothing frozen yet -> no-op).
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert([]byte("k"), []byte("v"))
+	copied, reclaimed, err = s.Compact(s.TailAddress())
+	if err != nil || copied != 0 || reclaimed != 0 {
+		t.Fatalf("unfrozen compact must be a no-op: %d %d %v", copied, reclaimed, err)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	s := NewStore(storage.NewNull(), Config{BucketCount: 64, CompactAt: 16 << 10})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	// Churn far past the threshold, checkpointing as we go: the store must
+	// keep its live log bounded by compacting automatically.
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 50; i++ {
+			sess.Upsert([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("round-%02d", round)))
+		}
+		target := s.CurrentVersion()
+		s.BeginCommit(target)
+		waitPersisted(t, s, target)
+	}
+	if s.BeginAddress() == 0 {
+		t.Fatal("auto-compaction never ran")
+	}
+	if s.LogSize() > 64<<10 {
+		t.Fatalf("live log unbounded despite auto-compaction: %d bytes", s.LogSize())
+	}
+	for i := 0; i < 50; i++ {
+		got := mustRead(t, sess, fmt.Sprintf("k%02d", i))
+		if string(got) != "round-29" {
+			t.Fatalf("k%02d = %q", i, got)
+		}
+	}
+}

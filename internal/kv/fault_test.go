@@ -1,0 +1,123 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dpr/internal/storage"
+)
+
+// TestCheckpointSurvivesTransientStorageFailure: a failed flush abandons the
+// checkpoint without corrupting anything; a retry after the device heals
+// persists everything, and recovery sees a consistent image.
+func TestCheckpointSurvivesTransientStorageFailure(t *testing.T) {
+	flaky := storage.NewFlaky(storage.NewNull())
+	s := NewStore(flaky, Config{BucketCount: 1 << 8})
+	sess := s.NewSession()
+	for i := 0; i < 100; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	flaky.FailWrites(true)
+	if err := s.BeginCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint must fail without persisting.
+	time.Sleep(50 * time.Millisecond)
+	if s.PersistedVersion() != 0 {
+		t.Fatalf("persisted %d despite storage failure", s.PersistedVersion())
+	}
+	if flaky.FailedOps() == 0 {
+		t.Fatal("no write was attempted")
+	}
+	// Operations keep working throughout.
+	if got := mustRead(t, sess, "k42"); string(got) != "v" {
+		t.Fatalf("read during failed checkpoint: %q", got)
+	}
+	sess.Upsert([]byte("during-outage"), []byte("x"))
+
+	// Device heals; the retry persists everything written so far.
+	flaky.FailWrites(false)
+	target := s.CurrentVersion()
+	if err := s.BeginCommit(target); err != nil {
+		t.Fatal(err)
+	}
+	waitPersisted(t, s, target)
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(flaky, Config{BucketCount: 1 << 8}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "k42"); string(got) != "v" {
+		t.Fatalf("recovered %q", got)
+	}
+	if got := mustRead(t, rs, "during-outage"); string(got) != "x" {
+		t.Fatalf("outage-window write lost: %q", got)
+	}
+}
+
+func TestPendingReadStorageFailure(t *testing.T) {
+	flaky := storage.NewFlaky(storage.NewNull())
+	s := NewStore(flaky, Config{BucketCount: 1 << 8, MemoryBudget: slabSize})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	big := make([]byte, 2048)
+	for i := 0; i < 2000; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("fill-%05d", i)), big)
+	}
+	s.BeginCommit(1)
+	waitPersisted(t, s, 1)
+	s.maybeEvict()
+	if s.HeadAddress() == 0 {
+		t.Skip("nothing evicted")
+	}
+	flaky.FailReads(true)
+	_, status, _ := sess.Read([]byte("fill-00000"), 9)
+	if status != StatusPending {
+		t.Skip("record still in memory")
+	}
+	comps := sess.CompletePending(true)
+	if len(comps) != 1 || comps[0].Status != StatusError {
+		t.Fatalf("pending read over failed device must surface an error: %+v", comps)
+	}
+	if !errors.Is(comps[0].Err, storage.ErrInjected) {
+		t.Fatalf("error should unwrap to the device fault: %v", comps[0].Err)
+	}
+	// Heal: the same read now succeeds.
+	flaky.FailReads(false)
+	_, status, _ = sess.Read([]byte("fill-00000"), 10)
+	if status == StatusPending {
+		comps = sess.CompletePending(true)
+		if len(comps) != 1 || comps[0].Status != StatusOK {
+			t.Fatalf("healed read failed: %+v", comps)
+		}
+	} else if status != StatusOK {
+		t.Fatalf("healed read status %v", status)
+	}
+}
+
+func TestSnapshotCheckpointStorageFailure(t *testing.T) {
+	flaky := storage.NewFlaky(storage.NewNull())
+	s := NewStore(flaky, Config{Checkpoint: Snapshot})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Upsert([]byte("k"), []byte("v"))
+	flaky.FailNextWrites(1)
+	s.BeginCommit(1)
+	time.Sleep(30 * time.Millisecond)
+	if s.PersistedVersion() != 0 {
+		t.Fatal("snapshot persisted despite injected failure")
+	}
+	// Healed retry.
+	target := s.CurrentVersion()
+	s.BeginCommit(target)
+	waitPersisted(t, s, target)
+}

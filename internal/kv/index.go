@@ -1,0 +1,82 @@
+package kv
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// index is the latch-striped hash index: an array of buckets, each holding
+// the log address of the newest record in its chain (-1 when empty), plus a
+// smaller array of stripe locks. All chain reads and mutations for a bucket
+// happen under its stripe lock; record payload access is therefore
+// race-free even with in-place updates, at the cost of striped mutual
+// exclusion (FASTER uses latch-free buckets + epoch-protected memory; the
+// stripe discipline preserves its behaviour while staying data-race-free
+// under the Go memory model).
+type index struct {
+	buckets  []atomic.Int64
+	locks    []sync.Mutex
+	mask     uint64
+	lockMask uint64
+}
+
+const nilAddress = int64(-1)
+
+func newIndex(bucketCount int) *index {
+	if bucketCount <= 0 {
+		bucketCount = 1 << 16
+	}
+	// Round up to a power of two.
+	n := 1
+	for n < bucketCount {
+		n <<= 1
+	}
+	nlocks := n
+	if nlocks > 1<<12 {
+		nlocks = 1 << 12
+	}
+	ix := &index{
+		buckets:  make([]atomic.Int64, n),
+		locks:    make([]sync.Mutex, nlocks),
+		mask:     uint64(n - 1),
+		lockMask: uint64(nlocks - 1),
+	}
+	for i := range ix.buckets {
+		ix.buckets[i].Store(nilAddress)
+	}
+	return ix
+}
+
+// fnv1a computes the 64-bit FNV-1a hash of key.
+func fnv1a(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+func (ix *index) bucketFor(key []byte) uint64 { return fnv1a(key) & ix.mask }
+
+func (ix *index) lock(bucket uint64) *sync.Mutex {
+	return &ix.locks[bucket&ix.lockMask]
+}
+
+// head returns the chain head address for a bucket. Callers must hold the
+// bucket's stripe lock for a consistent view against concurrent updates.
+func (ix *index) head(bucket uint64) int64 { return ix.buckets[bucket].Load() }
+
+// setHead publishes a new chain head. Callers must hold the stripe lock.
+func (ix *index) setHead(bucket uint64, addr int64) { ix.buckets[bucket].Store(addr) }
+
+// reset clears every bucket (used by recovery before a rebuild scan).
+func (ix *index) reset() {
+	for i := range ix.buckets {
+		ix.buckets[i].Store(nilAddress)
+	}
+}

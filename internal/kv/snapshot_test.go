@@ -1,0 +1,156 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dpr/internal/storage"
+)
+
+func TestSnapshotCheckpointAndRecover(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, Config{BucketCount: 1 << 8, Checkpoint: Snapshot})
+	sess := s.NewSession()
+	for i := 0; i < 200; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	sess.Delete([]byte("k7")) // deletions must not appear in the snapshot
+	s.BeginCommit(1)
+	waitPersisted(t, s, 1)
+	// Post-checkpoint writes must not leak into the version-1 snapshot.
+	sess.Upsert([]byte("k0"), []byte("version-2"))
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(dev, Config{BucketCount: 1 << 8, Checkpoint: Snapshot}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "k0"); string(got) != "v0" {
+		t.Fatalf("k0 = %q, want v0", got)
+	}
+	if got := mustRead(t, rs, "k199"); string(got) != "v199" {
+		t.Fatalf("k199 = %q", got)
+	}
+	if _, status, _ := rs.Read([]byte("k7"), 0); status != StatusNotFound {
+		t.Fatalf("deleted key resurrected by snapshot: %v", status)
+	}
+	if r.PersistedVersion() != 1 {
+		t.Fatalf("persisted %d", r.PersistedVersion())
+	}
+	// The recovered store checkpoints again in snapshot mode.
+	rs.Upsert([]byte("k0"), []byte("after"))
+	target := r.CurrentVersion()
+	r.BeginCommit(target)
+	waitPersisted(t, r, target)
+}
+
+func TestSnapshotSupersedesOldValue(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, Config{Checkpoint: Snapshot})
+	sess := s.NewSession()
+	sess.Upsert([]byte("k"), []byte("old"))
+	sess.Upsert([]byte("k"), []byte("newer-value")) // RCU + in-place paths
+	s.BeginCommit(1)
+	waitPersisted(t, s, 1)
+	sess.Close()
+	s.Close()
+	r, err := RecoverSnapshot(dev, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "k"); string(got) != "newer-value" {
+		t.Fatalf("snapshot kept stale value: %q", got)
+	}
+}
+
+func TestSnapshotExcludesRolledBackVersions(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, Config{Checkpoint: Snapshot})
+	sess := s.NewSession()
+	sess.Upsert([]byte("k"), []byte("v1"))
+	s.BeginCommit(1)
+	waitPersisted(t, s, 1)
+	sess.Upsert([]byte("k"), []byte("doomed"))
+	if err := s.Restore(1); err != nil {
+		t.Fatal(err)
+	}
+	sess.Upsert([]byte("k"), []byte("v3"))
+	target := s.CurrentVersion()
+	s.BeginCommit(target)
+	waitPersisted(t, s, target)
+	sess.Close()
+	s.Close()
+	r, err := RecoverSnapshot(dev, Config{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "k"); string(got) != "v3" {
+		t.Fatalf("rolled-back value leaked into snapshot: %q", got)
+	}
+}
+
+func TestSnapshotConcurrentWriters(t *testing.T) {
+	// Snapshot checkpoints run while writers keep updating hot keys; the
+	// snapshot must capture a consistent <=target view.
+	dev := storage.NewNull()
+	s := NewStore(dev, Config{BucketCount: 64, Checkpoint: Snapshot})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sess.Upsert([]byte(fmt.Sprintf("g%d-k%d", g, i%32)), []byte(fmt.Sprintf("%d", i)))
+				i++
+			}
+		}(g)
+	}
+	for v := 1; v <= 3; v++ {
+		target := s.CurrentVersion()
+		s.BeginCommit(target)
+		waitPersisted(t, s, target)
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	persisted := s.PersistedVersion()
+	s.Close()
+	r, err := Recover(dev, Config{BucketCount: 64, Checkpoint: Snapshot}, persisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}
+
+func TestRecoverSnapshotMissing(t *testing.T) {
+	if _, err := RecoverSnapshot(storage.NewNull(), Config{}, 3); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+}
+
+func TestCheckpointKindString(t *testing.T) {
+	if FoldOver.String() != "fold-over" || Snapshot.String() != "snapshot" {
+		t.Fatal("kind names")
+	}
+}

@@ -1,0 +1,616 @@
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/epoch"
+	"dpr/internal/storage"
+)
+
+// Phase of the global state machine (§5.5). REST is normal operation;
+// IN_PROGRESS and WAIT_FLUSH belong to the CPR checkpoint machine; THROW and
+// PURGE belong to the rollback machine. At most one machine runs at a time.
+type Phase uint8
+
+const (
+	PhaseRest Phase = iota
+	PhaseInProgress
+	PhaseWaitFlush
+	PhaseThrow
+	PhasePurge
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseRest:
+		return "REST"
+	case PhaseInProgress:
+		return "IN_PROGRESS"
+	case PhaseWaitFlush:
+		return "WAIT_FLUSH"
+	case PhaseThrow:
+		return "THROW"
+	case PhasePurge:
+		return "PURGE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// state packs (phase, version) into one atomic word: phase in the top 8
+// bits, version in the low 48.
+type state uint64
+
+func makeState(p Phase, v core.Version) state { return state(uint64(p)<<56 | uint64(v)) }
+func (s state) phase() Phase                  { return Phase(s >> 56) }
+func (s state) version() core.Version         { return core.Version(uint64(s) & metaVersionMask) }
+
+// versionRange is a half-open-on-the-left interval (lo, hi] of rolled-back
+// versions; records stamped with a version inside any range are invisible.
+type versionRange struct {
+	Lo, Hi core.Version
+}
+
+func rangesContain(ranges []versionRange, v core.Version) bool {
+	for _, r := range ranges {
+		if v > r.Lo && v <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// BucketCount sizes the hash index (rounded up to a power of two).
+	BucketCount int
+	// MemoryBudget caps the in-memory log size in bytes; older flushed
+	// regions are evicted to the device and served via PENDING reads.
+	// 0 means unbounded (nothing is ever evicted).
+	MemoryBudget int64
+	// PendingWorkers sizes the background pool that completes PENDING
+	// operations (device reads). Default 4.
+	PendingWorkers int
+	// Blob names this store's log on the device (default "hlog").
+	Blob string
+	// Checkpoint selects the checkpoint strategy (default FoldOver).
+	Checkpoint CheckpointKind
+	// CompactAt triggers automatic log compaction after a checkpoint once
+	// the live log exceeds this many bytes (0 disables auto-compaction).
+	CompactAt int64
+}
+
+// Store is the FasterKV instance: one StateObject shard.
+type Store struct {
+	cfg    Config
+	device storage.Device
+	log    *hlog
+	index  *index
+	epochs *epoch.Table
+
+	st        atomic.Uint64 // packed state
+	persisted atomic.Uint64 // largest durable version
+
+	// rolledBack is the authoritative visibility filter: versions inside
+	// any range were rolled back and must never be served.
+	rolledBack atomic.Pointer[[]versionRange]
+
+	// smMu serializes state machine runs (checkpoints, rollbacks).
+	smMu sync.Mutex
+	// purgeWG tracks the background PURGE pass of a rollback; the next
+	// state machine run waits for it so PURGE's invalid-bit writes never
+	// overlap a checkpoint flush reading the same log bytes.
+	purgeWG sync.WaitGroup
+	// maxRequestedCkpt deduplicates concurrent checkpoint requests.
+	maxRequestedCkpt atomic.Uint64
+	// ckptRunning marks an in-flight checkpoint state machine.
+	ckptRunning atomic.Bool
+
+	pendingCh chan func()
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+
+	evicting atomic.Bool
+
+	// stats
+	checkpointCount atomic.Uint64
+	rollbackCount   atomic.Uint64
+}
+
+// NewStore creates an empty store at version 1 over the given device.
+func NewStore(device storage.Device, cfg Config) *Store {
+	if cfg.PendingWorkers <= 0 {
+		cfg.PendingWorkers = 4
+	}
+	if cfg.Blob == "" {
+		cfg.Blob = "hlog"
+	}
+	s := &Store{
+		cfg:       cfg,
+		device:    device,
+		log:       newHlog(device, cfg.Blob),
+		index:     newIndex(cfg.BucketCount),
+		epochs:    epoch.NewTable(),
+		pendingCh: make(chan func(), 1024),
+		closed:    make(chan struct{}),
+	}
+	empty := []versionRange{}
+	s.rolledBack.Store(&empty)
+	s.st.Store(uint64(makeState(PhaseRest, 1)))
+	for i := 0; i < cfg.PendingWorkers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case task := <-s.pendingCh:
+					task()
+				case <-s.closed:
+					// Drain remaining tasks so sessions are not stranded.
+					for {
+						select {
+						case task := <-s.pendingCh:
+							task()
+						default:
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	return s
+}
+
+// Close stops background workers. In-flight pending operations complete.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.wg.Wait()
+}
+
+func (s *Store) loadState() state { return state(s.st.Load()) }
+
+// CurrentVersion returns the version new operations execute in.
+func (s *Store) CurrentVersion() core.Version { return s.loadState().version() }
+
+// CurrentPhase returns the state machine phase (diagnostics).
+func (s *Store) CurrentPhase() Phase { return s.loadState().phase() }
+
+// PersistedVersion implements core.StateObject.
+func (s *Store) PersistedVersion() core.Version { return core.Version(s.persisted.Load()) }
+
+// TailAddress returns the log tail (diagnostics and tests).
+func (s *Store) TailAddress() int64 { return s.log.tail.Load() }
+
+// HeadAddress returns the in-memory head boundary.
+func (s *Store) HeadAddress() int64 { return s.log.head.Load() }
+
+// Checkpoints returns the number of completed checkpoints.
+func (s *Store) Checkpoints() uint64 { return s.checkpointCount.Load() }
+
+// Rollbacks returns the number of completed rollbacks.
+func (s *Store) Rollbacks() uint64 { return s.rollbackCount.Load() }
+
+// RolledBackRanges returns the visibility filter (for checkpoint metadata).
+func (s *Store) RolledBackRanges() []versionRange {
+	return append([]versionRange(nil), (*s.rolledBack.Load())...)
+}
+
+// waitDrain bumps the epoch era and spins until every operation that entered
+// before the bump has exited — the fuzzy boundary primitive of CPR.
+func (s *Store) waitDrain() {
+	target := s.epochs.Bump()
+	for !s.epochs.AllObserved(target) {
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// BeginCommit implements core.StateObject: it starts a non-blocking
+// checkpoint capturing all operations in versions <= v and returns
+// immediately; PersistedVersion advances asynchronously when the flush
+// completes. Operations continue executing (in version >= v+1) throughout.
+func (s *Store) BeginCommit(v core.Version) error {
+	select {
+	case <-s.closed:
+		return errors.New("kv: store closed")
+	default:
+	}
+	// Deduplicate: remember the largest requested target.
+	for {
+		cur := s.maxRequestedCkpt.Load()
+		if uint64(v) <= cur {
+			break
+		}
+		if s.maxRequestedCkpt.CompareAndSwap(cur, uint64(v)) {
+			break
+		}
+	}
+	if s.ckptRunning.CompareAndSwap(false, true) {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				before := s.PersistedVersion()
+				tried := s.runCheckpoint()
+				s.ckptRunning.Store(false)
+				req := core.Version(s.maxRequestedCkpt.Load())
+				if req <= s.PersistedVersion() {
+					return // every requested version is durable
+				}
+				if s.PersistedVersion() == before && req <= tried {
+					// This exact request failed (storage error) and nothing
+					// newer arrived: stop rather than hot-loop; the next
+					// BeginCommit retries.
+					return
+				}
+				if !s.ckptRunning.CompareAndSwap(false, true) {
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// runCheckpoint executes one pass of the CPR checkpoint state machine,
+// returning the version it attempted to persist (0 if nothing to do).
+func (s *Store) runCheckpoint() core.Version {
+	s.smMu.Lock()
+	defer s.smMu.Unlock()
+	s.purgeWG.Wait() // at most one state machine at a time (§5.5)
+
+	requested := core.Version(s.maxRequestedCkpt.Load())
+	if core.Version(s.persisted.Load()) >= requested {
+		return requested // every requested version is already durable
+	}
+	target := requested
+	if cur := s.loadState().version(); target < cur {
+		target = cur
+	}
+	// IN_PROGRESS: operations shift to version target+1. Records written in
+	// versions <= target are frozen for in-place updates once their writers
+	// drain.
+	s.st.Store(uint64(makeState(PhaseInProgress, target+1)))
+	s.waitDrain()
+
+	if s.cfg.Checkpoint == Snapshot {
+		// Snapshot checkpoint: serialize the live set at <= target. The
+		// drain above froze those records; the scan locks each bucket.
+		s.st.Store(uint64(makeState(PhaseWaitFlush, target+1)))
+		if err := s.writeSnapshot(target, s.RolledBackRanges()); err != nil {
+			s.st.Store(uint64(makeState(PhaseRest, target+1)))
+			return target
+		}
+		if err := s.writeCheckpointMeta(target, -1); err != nil {
+			s.st.Store(uint64(makeState(PhaseRest, target+1)))
+			return target
+		}
+		s.persisted.Store(uint64(target))
+		s.checkpointCount.Add(1)
+		s.st.Store(uint64(makeState(PhaseRest, target+1)))
+		return target
+	}
+
+	// Fold-over checkpoint: all version<=target operations have drained, so
+	// the log prefix up to the current tail contains every record of the
+	// checkpoint. Freeze it.
+	boundary := s.log.tail.Load()
+	s.log.readOnly.Store(boundary)
+	// Drain again so no in-flight operation still performs in-place updates
+	// below the new read-only boundary (it may have read the old boundary).
+	s.waitDrain()
+
+	s.st.Store(uint64(makeState(PhaseWaitFlush, target+1)))
+	flushDone := make(chan error, 1)
+	s.log.flushTo(boundary, func(err error) { flushDone <- err })
+	if err := <-flushDone; err != nil {
+		// Storage failure: abandon this checkpoint; operations continue in
+		// target+1 and a later checkpoint retries the flush.
+		s.st.Store(uint64(makeState(PhaseRest, target+1)))
+		return target
+	}
+	if err := s.writeCheckpointMeta(target, boundary); err != nil {
+		s.st.Store(uint64(makeState(PhaseRest, target+1)))
+		return target
+	}
+	s.persisted.Store(uint64(target))
+	s.checkpointCount.Add(1)
+	s.st.Store(uint64(makeState(PhaseRest, target+1)))
+
+	s.maybeEvict()
+	s.maybeCompactLocked()
+	return target
+}
+
+// maybeCompactLocked runs auto-compaction after a checkpoint when the live
+// log exceeds the configured threshold. Caller holds smMu.
+func (s *Store) maybeCompactLocked() {
+	if s.cfg.CompactAt <= 0 || s.LogSize() <= s.cfg.CompactAt {
+		return
+	}
+	s.compactLocked(s.log.readOnly.Load())
+}
+
+// Restore implements core.StateObject: the non-blocking rollback of §5.5.
+// All operations executed in versions (v, current] are discarded; operations
+// keep executing throughout in a fresh version. Restore returns once the
+// rollback is logically complete (THROW done; PURGE marking continues in the
+// background).
+func (s *Store) Restore(v core.Version) error {
+	s.smMu.Lock()
+	defer s.smMu.Unlock()
+	s.purgeWG.Wait() // serialize with a previous rollback's PURGE pass
+
+	cur := s.loadState().version()
+	if v >= cur {
+		// Nothing executed after v; still advance the version so the new
+		// world-line starts fresh.
+		s.st.Store(uint64(makeState(PhaseRest, cur+1)))
+		return nil
+	}
+	// THROW: publish the rolled-back range first so every operation that
+	// enters after the drain filters it, then shift to version cur+1.
+	newRanges := append(s.RolledBackRanges(), versionRange{Lo: v, Hi: cur})
+	s.rolledBack.Store(&newRanges)
+	s.st.Store(uint64(makeState(PhaseThrow, cur+1)))
+	s.waitDrain()
+	// After the drain: no operation is executing in a version <= cur and no
+	// reader holds the old visibility filter — the fuzzy cut-off of Figure 8
+	// is now sharp.
+
+	// PURGE: mark invalidated records in the background; visibility is
+	// already enforced by the range filter, so marking is a reclamation aid,
+	// not a correctness requirement.
+	s.st.Store(uint64(makeState(PhasePurge, cur+1)))
+	s.wg.Add(1)
+	s.purgeWG.Add(1)
+	go func(lo, hi core.Version) {
+		defer s.wg.Done()
+		defer s.purgeWG.Done()
+		s.purge(lo, hi)
+		// PURGE finished: back to REST unless another machine took over.
+		st := s.loadState()
+		if st.phase() == PhasePurge {
+			s.st.CompareAndSwap(uint64(st), uint64(makeState(PhaseRest, st.version())))
+		}
+	}(v, cur)
+
+	if p := core.Version(s.persisted.Load()); p > v {
+		s.persisted.Store(uint64(v))
+	}
+	s.rollbackCount.Add(1)
+	return nil
+}
+
+// purge walks every bucket chain and sets the invalid bit on records whose
+// version lies in (lo, hi]. Runs under bucket locks, a stripe at a time.
+func (s *Store) purge(lo, hi core.Version) {
+	head := s.log.head.Load()
+	for b := range s.index.buckets {
+		mu := s.index.lock(uint64(b))
+		mu.Lock()
+		addr := s.index.head(uint64(b))
+		for addr != nilAddress && addr >= head {
+			r, ok := s.log.view(addr)
+			if !ok {
+				break
+			}
+			ver := core.Version(r.version())
+			if ver > lo && ver <= hi && !r.invalid() {
+				r.setMeta(r.meta() | metaInvalid)
+			}
+			addr = r.prev()
+		}
+		mu.Unlock()
+	}
+}
+
+// maybeEvict advances the head past flushed regions when the in-memory log
+// exceeds the budget, then releases slab memory after an epoch drain.
+func (s *Store) maybeEvict() {
+	if s.cfg.MemoryBudget <= 0 {
+		return
+	}
+	tail := s.log.tail.Load()
+	head := s.log.head.Load()
+	if tail-head <= s.cfg.MemoryBudget {
+		return
+	}
+	if !s.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.evicting.Store(false)
+	target := tail - s.cfg.MemoryBudget
+	old := s.log.advanceHead(target)
+	newHead := s.log.head.Load()
+	if newHead == old {
+		return
+	}
+	s.waitDrain()
+	s.log.releaseSlabs(old, newHead)
+}
+
+// ---- checkpoint metadata ----
+
+const ckptMagic = 0xD9C4_0001
+
+func ckptBlobName(v core.Version) string { return fmt.Sprintf("ckpt-%d", v) }
+
+func (s *Store) writeCheckpointMeta(v core.Version, boundary int64) error {
+	ranges := s.RolledBackRanges()
+	buf := make([]byte, 0, 40+len(ranges)*16)
+	var tmp [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], x)
+		buf = append(buf, tmp[:]...)
+	}
+	put(ckptMagic)
+	put(uint64(v))
+	put(uint64(boundary))
+	put(uint64(s.cfg.Checkpoint))
+	put(uint64(s.log.begin.Load()))
+	put(uint64(len(ranges)))
+	for _, r := range ranges {
+		put(uint64(r.Lo))
+		put(uint64(r.Hi))
+	}
+	if err := s.writeBlobSync(ckptBlobName(v), buf); err != nil {
+		return err
+	}
+	// Publish as the latest checkpoint only after the metadata is durable.
+	var latest [8]byte
+	binary.LittleEndian.PutUint64(latest[:], uint64(v))
+	return s.writeBlobSync(s.cfg.Blob+"-latest", latest[:])
+}
+
+func (s *Store) writeBlobSync(name string, data []byte) error {
+	ch := make(chan error, 1)
+	s.device.WriteAsync(name, 0, data, func(err error) { ch <- err })
+	return <-ch
+}
+
+// checkpointMeta is the decoded metadata of one durable checkpoint.
+type checkpointMeta struct {
+	Version  core.Version
+	Boundary int64
+	Kind     CheckpointKind
+	Begin    int64
+	Ranges   []versionRange
+}
+
+func readCheckpointMeta(device storage.Device, blob string, v core.Version) (*checkpointMeta, error) {
+	name := fmt.Sprintf("ckpt-%d", v)
+	size := device.BlobSize(name)
+	if size < 48 {
+		return nil, fmt.Errorf("kv: checkpoint %d missing or truncated", v)
+	}
+	data, err := device.Read(name, 0, int(size))
+	if err != nil {
+		return nil, err
+	}
+	get := func(i int) uint64 { return binary.LittleEndian.Uint64(data[i*8:]) }
+	if get(0) != ckptMagic {
+		return nil, fmt.Errorf("kv: checkpoint %d bad magic", v)
+	}
+	m := &checkpointMeta{
+		Version:  core.Version(get(1)),
+		Boundary: int64(get(2)),
+		Kind:     CheckpointKind(get(3)),
+		Begin:    int64(get(4)),
+	}
+	n := int(get(5))
+	for i := 0; i < n; i++ {
+		m.Ranges = append(m.Ranges, versionRange{
+			Lo: core.Version(get(6 + 2*i)),
+			Hi: core.Version(get(7 + 2*i)),
+		})
+	}
+	_ = blob
+	return m, nil
+}
+
+// LatestCheckpoint returns the version of the newest durable checkpoint on
+// the device for the given log blob name, or 0 if none exists.
+func LatestCheckpoint(device storage.Device, blob string) core.Version {
+	name := blob + "-latest"
+	if device.BlobSize(name) < 8 {
+		return 0
+	}
+	data, err := device.Read(name, 0, 8)
+	if err != nil {
+		return 0
+	}
+	return core.Version(binary.LittleEndian.Uint64(data))
+}
+
+// Recover reconstructs a store from the device so that exactly the
+// operations in versions <= v (minus rolled-back ranges) survive — the
+// restart path for a failed worker. It requires a durable checkpoint at a
+// version >= v (DPR only asks workers to recover to positions at or below
+// their persisted version).
+func Recover(device storage.Device, cfg Config, v core.Version) (*Store, error) {
+	if cfg.Blob == "" {
+		cfg.Blob = "hlog"
+	}
+	latest := LatestCheckpoint(device, cfg.Blob)
+	if latest == 0 {
+		return nil, errors.New("kv: no checkpoint on device")
+	}
+	if latest < v {
+		return nil, fmt.Errorf("kv: newest checkpoint %d predates requested version %d", latest, v)
+	}
+	meta, err := readCheckpointMeta(device, cfg.Blob, latest)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind == Snapshot {
+		// Snapshot checkpoints recover at a checkpointed version: use the
+		// newest snapshot at or below v. (Fold-over supports arbitrary
+		// positions; this is the documented trade-off of snapshot mode.)
+		for ver := v; ver > 0; ver-- {
+			if device.BlobSize(snapBlobName(ver)) >= 8 {
+				return RecoverSnapshot(device, cfg, ver)
+			}
+			if v-ver > 1024 {
+				break
+			}
+		}
+		return nil, fmt.Errorf("kv: no snapshot at or below version %d", v)
+	}
+	s := NewStore(device, cfg)
+	// Load the durable log prefix into memory (compacted region excluded).
+	for off := meta.Begin; off < meta.Boundary; {
+		end := (off>>slabBits + 1) << slabBits
+		if end > meta.Boundary {
+			end = meta.Boundary
+		}
+		data, err := device.Read(cfg.Blob, off, int(end-off))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("kv: read log: %w", err)
+		}
+		slab := *s.log.ensureSlab(off >> slabBits)
+		copy(slab[off&slabMask:], data)
+		off = end
+	}
+	s.log.tail.Store(meta.Boundary)
+	s.log.readOnly.Store(meta.Boundary)
+	s.log.flushedUntil.Store(meta.Boundary)
+	s.log.begin.Store(meta.Begin)
+
+	// Visibility: checkpoint-recorded rollbacks plus everything after v.
+	ranges := append([]versionRange(nil), meta.Ranges...)
+	if latest > v {
+		ranges = append(ranges, versionRange{Lo: v, Hi: latest})
+	}
+	s.rolledBack.Store(&ranges)
+
+	// Rebuild the index by a forward scan, linking only visible records.
+	err = s.log.scan(meta.Begin, meta.Boundary, func(addr int64, r recordView) bool {
+		ver := core.Version(r.version())
+		if ver > v || rangesContain(ranges, ver) || r.invalid() {
+			return true
+		}
+		b := s.index.bucketFor(r.key())
+		r.setPrev(s.index.head(b))
+		s.index.setHead(b, addr)
+		return true
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.persisted.Store(uint64(v))
+	s.st.Store(uint64(makeState(PhaseRest, latest+1)))
+	s.maxRequestedCkpt.Store(uint64(latest))
+	return s, nil
+}
+
+var _ core.StateObject = (*Store)(nil)

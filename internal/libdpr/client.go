@@ -1,0 +1,179 @@
+package libdpr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/metadata"
+)
+
+var sessionIDs atomic.Uint64
+
+// Session is the client-side libDPR state for one session: it assigns
+// sequence numbers, computes dependency headers for outgoing batches,
+// digests DPR reply headers (committed prefixes, rollback notifications),
+// and surfaces SurvivalErrors when a failure erased part of the session.
+//
+// A Session is safe for concurrent use by the issuing thread and background
+// completion threads, mirroring relaxed DPR (§5.4).
+type Session struct {
+	id      uint64
+	tracker *core.SessionTracker
+	meta    metadata.Service
+
+	mu sync.Mutex
+	// failure holds a pending SurvivalError the application has not yet
+	// consumed; further operations fail fast until Acknowledge.
+	failure *core.SurvivalError
+	// lastCut caches the newest piggybacked cut folded into the tracker;
+	// replies carrying an unchanged cut skip the O(uncommitted) prefix
+	// scan, which would otherwise make high-throughput sessions quadratic
+	// between checkpoints.
+	lastCut core.Cut
+}
+
+// NewSession creates a session at the metadata service's current world-line.
+// relaxed selects relaxed DPR (the default in the paper's systems).
+func NewSession(meta metadata.Service, relaxed bool) (*Session, error) {
+	_, _, wl, err := meta.State()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		id:      sessionIDs.Add(1),
+		tracker: core.NewSessionTracker(wl, relaxed),
+		meta:    meta,
+	}, nil
+}
+
+// ID returns the globally unique session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Tracker exposes the underlying session tracker (read-mostly diagnostics).
+func (s *Session) Tracker() *core.SessionTracker { return s.tracker }
+
+// NextBatch reserves n sequence numbers and builds the batch header to send
+// with them. Returns an error if an unacknowledged failure is pending.
+func (s *Session) NextBatch(n int) (BatchHeader, error) {
+	s.mu.Lock()
+	if f := s.failure; f != nil {
+		s.mu.Unlock()
+		return BatchHeader{}, f
+	}
+	s.mu.Unlock()
+	h := BatchHeader{
+		SessionID: s.id,
+		WorldLine: s.tracker.WorldLine(),
+		Vs:        s.tracker.VersionClock(),
+		SeqStart:  s.tracker.BeginBatch(n),
+		NumOps:    uint32(n),
+	}
+	if dep, ok := s.tracker.LatestToken(); ok {
+		h.Dep = dep
+	}
+	return h, nil
+}
+
+// CompleteBatch digests a batch reply: it resolves each operation to its
+// token, folds the piggybacked cut into the committed prefix, and checks for
+// world-line changes. The returned error, if any, is a *core.SurvivalError
+// the application must handle (the next NextBatch also returns it until
+// Acknowledge is called).
+func (s *Session) CompleteBatch(worker core.WorkerID, h BatchHeader, r BatchReply) error {
+	if r.WorldLine > s.tracker.WorldLine() {
+		return s.handleFailure(r.WorldLine)
+	}
+	for i, v := range r.Versions {
+		s.tracker.Complete(h.SeqStart+uint64(i), core.Token{Worker: worker, Version: v})
+	}
+	if len(r.Cut) > 0 {
+		s.mu.Lock()
+		changed := !s.lastCut.Equal(r.Cut)
+		if changed {
+			s.lastCut = r.Cut.Clone()
+		}
+		s.mu.Unlock()
+		if changed {
+			s.tracker.AdvanceCommitted(r.Cut)
+		}
+	}
+	return nil
+}
+
+// NotifyWorldLine lets transports inject a world-line observation (e.g. from
+// an error response). Triggers failure handling if it is ahead of ours.
+func (s *Session) NotifyWorldLine(wl core.WorldLine) error {
+	if wl > s.tracker.WorldLine() {
+		return s.handleFailure(wl)
+	}
+	return nil
+}
+
+func (s *Session) handleFailure(wl core.WorldLine) error {
+	cut, err := s.meta.RecoveredCut(wl)
+	if err != nil {
+		// Cannot resolve yet; surface a transient error, caller retries.
+		return fmt.Errorf("libdpr: world-line %d announced but cut unavailable: %w", wl, err)
+	}
+	surv := s.tracker.OnFailure(wl, cut)
+	if surv == nil {
+		return nil // stale
+	}
+	s.mu.Lock()
+	s.failure = surv
+	s.mu.Unlock()
+	return surv
+}
+
+// Acknowledge clears a pending SurvivalError after the application has
+// reacted to it (reissued or abandoned the lost suffix); the session then
+// continues on the new world-line.
+func (s *Session) Acknowledge() *core.SurvivalError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.failure
+	s.failure = nil
+	return f
+}
+
+// Committed returns the committed prefix point and exception list.
+func (s *Session) Committed() (uint64, []uint64) { return s.tracker.Committed() }
+
+// RefreshCommit polls the finder once and folds the latest cut into the
+// committed prefix; returns the new prefix. Also detects world-line changes.
+func (s *Session) RefreshCommit() (uint64, error) {
+	cut, _, wl, err := s.meta.State()
+	if err != nil {
+		return 0, err
+	}
+	if wl > s.tracker.WorldLine() {
+		if err := s.handleFailure(wl); err != nil {
+			return 0, err
+		}
+	}
+	p, _ := s.tracker.AdvanceCommitted(cut)
+	return p, nil
+}
+
+// WaitCommit blocks until the session's committed prefix reaches seq, a
+// failure intervenes, or the timeout expires — the paper's "sessions may
+// wait for commit at any time" group-commit affordance (§2).
+func (s *Session) WaitCommit(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		p, err := s.RefreshCommit()
+		if err != nil {
+			return err
+		}
+		if p >= seq {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("libdpr: commit of seq %d timed out (prefix at %d)", seq, p)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,345 @@
+// Package libdpr implements the libDPR library of paper §6: everything
+// needed to add DPR semantics to an unmodified cache-store. The server-side
+// Worker wraps a StateObject, admitting request batches (world-line checks,
+// version fast-forward per the §3.2 progress rule), tracking cross-shard
+// dependencies from batch headers, triggering periodic commits, reporting
+// persisted versions to the DPR finder, and executing rollbacks. The
+// client-side Session assigns sequence numbers, computes dependency headers,
+// tracks committed prefixes, and detects rollbacks.
+package libdpr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/metadata"
+)
+
+// StateObject extends core.StateObject with the current-version accessor
+// libDPR needs to run the progress protocol.
+type StateObject interface {
+	core.StateObject
+	// CurrentVersion returns the version new operations execute in.
+	CurrentVersion() core.Version
+}
+
+// BatchHeader is the DPR header prepended to every request batch (§6:
+// "Messages are serialized into batches, enhanced with a DPR-specific
+// header").
+type BatchHeader struct {
+	SessionID uint64
+	WorldLine core.WorldLine
+	// Vs is the session's version clock; the worker must execute the batch
+	// in a version >= Vs (§3.2).
+	Vs core.Version
+	// SeqStart numbers the batch's first operation in the session order.
+	SeqStart uint64
+	// NumOps is the number of operations in the batch.
+	NumOps uint32
+	// Dep is the token of the session's most recently completed operation,
+	// the cross-shard dependency this batch introduces (zero Version means
+	// no dependency).
+	Dep core.Token
+}
+
+// BatchReply is the DPR portion of a batch response.
+type BatchReply struct {
+	WorldLine core.WorldLine
+	// Versions holds, per operation, the version it executed in on this
+	// worker; together with the worker id they form the operation's token.
+	Versions []core.Version
+	// Cut piggybacks the worker's latest view of the DPR cut so clients
+	// learn commit progress without polling the finder.
+	Cut core.Cut
+}
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	ID core.WorkerID
+	// Addr is advertised in the membership table.
+	Addr string
+	// CheckpointInterval is the periodic Commit() cadence (the paper uses
+	// 100ms by default in its evaluation). <= 0 disables the timer (commits
+	// must then be triggered manually or by version fast-forward).
+	CheckpointInterval time.Duration
+	// RefreshInterval is the finder polling cadence (cut, Vmax,
+	// world-line). Defaults to CheckpointInterval/2 or 50ms.
+	RefreshInterval time.Duration
+	// AdmitTimeout bounds how long a batch from a future world-line waits
+	// for local recovery. Default 5s.
+	AdmitTimeout time.Duration
+}
+
+// Worker is the server-side libDPR state for one StateObject shard.
+type Worker struct {
+	cfg  WorkerConfig
+	so   StateObject
+	meta metadata.Service
+	wl   *core.WorldLineTracker
+
+	depsMu sync.Mutex
+	deps   map[core.Version]map[core.Token]struct{}
+
+	cutMu    sync.Mutex
+	cut      core.Cut
+	vmax     core.Version
+	reported core.Version
+	// cutShared is the latest cut as an immutable snapshot, published
+	// atomically so the per-operation Reply path is allocation-free.
+	cutShared atomic.Pointer[core.Cut]
+
+	// rollbackMu serializes Rollback calls: the cluster manager's rollback
+	// message and the worker's metadata-poll self-heal can race for the
+	// same world-line, and a duplicate Restore would silently erase
+	// operations executed between the two calls.
+	rollbackMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewWorker registers the worker with the metadata service and starts its
+// background maintenance loop.
+func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker, error) {
+	if cfg.AdmitTimeout <= 0 {
+		cfg.AdmitTimeout = 5 * time.Second
+	}
+	if cfg.RefreshInterval <= 0 {
+		if cfg.CheckpointInterval > 0 {
+			cfg.RefreshInterval = cfg.CheckpointInterval / 2
+		} else {
+			cfg.RefreshInterval = 50 * time.Millisecond
+		}
+	}
+	if err := meta.RegisterWorker(cfg.ID, cfg.Addr); err != nil {
+		return nil, err
+	}
+	_, _, wl, err := meta.State()
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg:  cfg,
+		so:   so,
+		meta: meta,
+		wl:   core.NewWorldLineTracker(wl),
+		deps: make(map[core.Version]map[core.Token]struct{}),
+		cut:  make(core.Cut),
+		stop: make(chan struct{}),
+	}
+	empty := make(core.Cut)
+	w.cutShared.Store(&empty)
+	w.reported = so.PersistedVersion()
+	w.wg.Add(1)
+	go w.maintenanceLoop()
+	return w, nil
+}
+
+// ID returns the worker's id.
+func (w *Worker) ID() core.WorkerID { return w.cfg.ID }
+
+// StateObject returns the wrapped store.
+func (w *Worker) StateObject() StateObject { return w.so }
+
+// WorldLine returns the worker's current world-line.
+func (w *Worker) WorldLine() core.WorldLine { return w.wl.Current() }
+
+// ErrBatchRejected is returned when a batch cannot be admitted because the
+// client operates on an older world-line and must first recover.
+var ErrBatchRejected = errors.New("libdpr: batch rejected, client must recover")
+
+// AdmitBatch performs the server-side libDPR work before a batch executes
+// (§6): world-line admission and version fast-forward. On success it returns
+// the world-line the batch executes in.
+func (w *Worker) AdmitBatch(h BatchHeader) (core.WorldLine, error) {
+	if err := w.wl.Admit(h.WorldLine, w.cfg.AdmitTimeout); err != nil {
+		return w.wl.Current(), fmt.Errorf("%w (worker at %d, batch at %d)",
+			ErrBatchRejected, w.wl.Current(), h.WorldLine)
+	}
+	// Progress rule: execute only in a version >= Vs. Fast-forward by
+	// committing until the version catches up.
+	if h.Vs > w.so.CurrentVersion() {
+		if err := w.so.BeginCommit(h.Vs - 1); err != nil {
+			return w.wl.Current(), err
+		}
+		deadline := time.Now().Add(w.cfg.AdmitTimeout)
+		for w.so.CurrentVersion() < h.Vs {
+			if time.Now().After(deadline) {
+				return w.wl.Current(), fmt.Errorf("libdpr: version fast-forward to %d timed out", h.Vs)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return w.wl.Current(), nil
+}
+
+// RecordDependency attributes the batch's dependency token to a version the
+// batch's operations executed in. Call once per distinct version in the
+// batch after execution; self-dependencies are ignored.
+func (w *Worker) RecordDependency(v core.Version, dep core.Token) {
+	if dep.Version == 0 || dep.Worker == w.cfg.ID {
+		return
+	}
+	w.depsMu.Lock()
+	set, ok := w.deps[v]
+	if !ok {
+		set = make(map[core.Token]struct{})
+		w.deps[v] = set
+	}
+	set[dep] = struct{}{}
+	w.depsMu.Unlock()
+}
+
+// Reply assembles the DPR reply header for a batch whose operations executed
+// in the given versions. The returned cut is a shared immutable snapshot:
+// callers must treat it as read-only.
+func (w *Worker) Reply(versions []core.Version) BatchReply {
+	return BatchReply{WorldLine: w.wl.Current(), Versions: versions, Cut: *w.cutShared.Load()}
+}
+
+// CurrentCut returns the worker's cached view of the DPR cut.
+func (w *Worker) CurrentCut() core.Cut {
+	w.cutMu.Lock()
+	defer w.cutMu.Unlock()
+	return w.cut.Clone()
+}
+
+// TriggerCommit starts a commit of everything up to the current version
+// (the explicit group-commit-boundary API of §3).
+func (w *Worker) TriggerCommit() error {
+	w.cutMu.Lock()
+	vmax := w.vmax
+	w.cutMu.Unlock()
+	target := w.so.CurrentVersion()
+	// Fast-forward to Vmax so a lagging worker catches up in bounded time
+	// (§3.4).
+	if vmax > target {
+		target = vmax
+	}
+	return w.so.BeginCommit(target)
+}
+
+// Rollback rolls the StateObject back to the cut position for this worker
+// and advances to the new world-line; the cluster manager invokes it on
+// every surviving worker during failure recovery (§4.1). Idempotent per
+// world-line.
+func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
+	w.rollbackMu.Lock()
+	defer w.rollbackMu.Unlock()
+	if wl <= w.wl.Current() {
+		return nil
+	}
+	if err := w.so.Restore(cut.Get(w.cfg.ID)); err != nil {
+		return err
+	}
+	// Drop dependency attribution for rolled-back versions.
+	w.depsMu.Lock()
+	for v := range w.deps {
+		if v > cut.Get(w.cfg.ID) {
+			delete(w.deps, v)
+		}
+	}
+	w.depsMu.Unlock()
+	w.cutMu.Lock()
+	if w.reported > cut.Get(w.cfg.ID) {
+		w.reported = cut.Get(w.cfg.ID)
+	}
+	w.cutMu.Unlock()
+	w.wl.Advance(wl, cut)
+	// Confirm the rollback so recovery coordinators (possibly in another
+	// process) can resume DPR progress once everyone has reported (§4.1).
+	_ = w.meta.AckWorldLine(w.cfg.ID, wl)
+	return nil
+}
+
+// Stop halts background maintenance and deregisters nothing (membership is
+// durable; workers that leave for good call Deregister separately).
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.wg.Wait()
+}
+
+// maintenanceLoop runs the periodic work: trigger checkpoints, report
+// persisted versions (with their dependency sets) to the finder, and refresh
+// the cached cut/Vmax/world-line.
+func (w *Worker) maintenanceLoop() {
+	defer w.wg.Done()
+	var ckptC <-chan time.Time
+	if w.cfg.CheckpointInterval > 0 {
+		t := time.NewTicker(w.cfg.CheckpointInterval)
+		defer t.Stop()
+		ckptC = t.C
+	}
+	refresh := time.NewTicker(w.cfg.RefreshInterval)
+	defer refresh.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ckptC:
+			_ = w.TriggerCommit()
+			w.reportPersisted()
+		case <-refresh.C:
+			w.reportPersisted()
+			w.refreshState()
+		}
+	}
+}
+
+// reportPersisted sends every newly persisted version to the finder, in
+// order, with its dependency set.
+func (w *Worker) reportPersisted() {
+	persisted := w.so.PersistedVersion()
+	w.cutMu.Lock()
+	from := w.reported
+	if persisted <= from {
+		w.cutMu.Unlock()
+		return
+	}
+	w.reported = persisted
+	w.cutMu.Unlock()
+	for v := from + 1; v <= persisted; v++ {
+		w.depsMu.Lock()
+		var deps []core.Token
+		for t := range w.deps[v] {
+			deps = append(deps, t)
+		}
+		delete(w.deps, v)
+		w.depsMu.Unlock()
+		if err := w.meta.ReportVersion(w.cfg.ID, v, deps); err != nil {
+			// Metadata hiccup: regress the report pointer so we retry.
+			w.cutMu.Lock()
+			if w.reported >= v {
+				w.reported = v - 1
+			}
+			w.cutMu.Unlock()
+			return
+		}
+	}
+}
+
+// refreshState pulls the cut, Vmax and world-line from the finder. A
+// world-line ahead of ours means a failure was recovered elsewhere and this
+// worker missed the rollback message — self-heal by rolling back.
+func (w *Worker) refreshState() {
+	cut, vmax, wl, err := w.meta.State()
+	if err != nil {
+		return
+	}
+	w.cutMu.Lock()
+	w.cut = cut
+	w.vmax = vmax
+	w.cutMu.Unlock()
+	snapshot := cut.Clone()
+	w.cutShared.Store(&snapshot)
+	if wl > w.wl.Current() {
+		if rc, err := w.meta.RecoveredCut(wl); err == nil {
+			_ = w.Rollback(wl, rc)
+		}
+	}
+}

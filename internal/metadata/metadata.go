@@ -1,0 +1,428 @@
+// Package metadata implements the fault-tolerant metadata services of paper
+// §5.3: the DPR table consumed by the cut-finding algorithms (§3.3-3.4),
+// cluster membership, key-ownership mapping over virtual partitions, and the
+// world-line registry used during failure recovery. The paper backs these
+// with an Azure SQL database; this package provides the same ACID-table
+// semantics in-process, with configurable access latency (simulating the
+// database round trip) and durable persistence through a storage.Device.
+//
+// All finder traffic is off the critical path of request processing: workers
+// report checkpoints and poll the cut from background threads, exactly as in
+// the paper.
+package metadata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/storage"
+)
+
+// Service is the interface workers and clients use to talk to the metadata
+// store; it is implemented in-process by *Store and over the network by the
+// finder client in package wire.
+type Service interface {
+	// RegisterWorker adds a worker to the cluster (a row in the DPR table).
+	RegisterWorker(w core.WorkerID, addr string) error
+	// DeregisterWorker removes an (empty) worker.
+	DeregisterWorker(w core.WorkerID) error
+	// ReportVersion records that worker w persisted version v with deps.
+	ReportVersion(w core.WorkerID, v core.Version, deps []core.Token) error
+	// State returns the current DPR cut, Vmax (for checkpoint fast-forward),
+	// and the current world-line.
+	State() (core.Cut, core.Version, core.WorldLine, error)
+	// Members lists registered workers and their addresses.
+	Members() (map[core.WorkerID]string, error)
+	// OwnerOf resolves a virtual partition to its owning worker.
+	OwnerOf(partition uint64) (core.WorkerID, error)
+	// SetOwner assigns a virtual partition to a worker.
+	SetOwner(partition uint64, w core.WorkerID) error
+	// RecoveredCut returns the cut the system rolled back to when the given
+	// world-line was spawned (clients use it to compute survival).
+	RecoveredCut(wl core.WorldLine) (core.Cut, error)
+	// AckWorldLine records that worker w has completed its rollback into
+	// world-line wl; recovery coordinators wait for all members to ack
+	// before resuming DPR progress (§4.1).
+	AckWorldLine(w core.WorkerID, wl core.WorldLine) error
+}
+
+// FinderKind selects the cut-finding algorithm (§3.3-3.4).
+type FinderKind uint8
+
+const (
+	// FinderExact stores the full precedence graph (precise, heavier).
+	FinderExact FinderKind = iota
+	// FinderApproximate stores only persisted version numbers; the cut is
+	// min(persistedVersion) — the configuration the paper's evaluation uses.
+	FinderApproximate
+	// FinderHybrid runs exact in memory with approximate fallback.
+	FinderHybrid
+)
+
+func (k FinderKind) String() string {
+	switch k {
+	case FinderExact:
+		return "exact"
+	case FinderApproximate:
+		return "approximate"
+	case FinderHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// NewFinder constructs the finder for a kind.
+func NewFinder(k FinderKind) core.Finder {
+	switch k {
+	case FinderExact:
+		return core.NewExactFinder()
+	case FinderHybrid:
+		return core.NewHybridFinder()
+	default:
+		return core.NewApproximateFinder()
+	}
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Finder selects the DPR cut algorithm.
+	Finder FinderKind
+	// AccessLatency is injected into every call, simulating the round trip
+	// to a remote metadata database. 0 disables injection.
+	AccessLatency time.Duration
+	// Device, if set, receives durable snapshots of the metadata tables.
+	Device storage.Device
+	// Blob names the metadata blob on the device (default "dpr-metadata").
+	Blob string
+}
+
+// Store is the in-process metadata service.
+type Store struct {
+	cfg    Config
+	finder core.Finder
+
+	mu        sync.Mutex
+	members   map[core.WorkerID]string
+	ownership map[uint64]core.WorkerID
+	worldLine core.WorldLine
+	// frozen pins the cut during failure recovery (§4.1: the cluster
+	// manager temporarily halts DPR progress).
+	frozen    bool
+	frozenCut core.Cut
+	// recovered maps a world-line to the cut it was spawned from.
+	recovered map[core.WorldLine]core.Cut
+	// acked maps each worker to the newest world-line it confirmed.
+	acked map[core.WorkerID]core.WorldLine
+
+	// Snapshot persistence is serialized by a single flusher so snapshots
+	// land on the device in order; persistLocked only marks dirty.
+	dirty    bool
+	flushing bool
+	flushWG  sync.WaitGroup
+}
+
+// NewStore builds a metadata store.
+func NewStore(cfg Config) *Store {
+	if cfg.Blob == "" {
+		cfg.Blob = "dpr-metadata"
+	}
+	return &Store{
+		cfg:       cfg,
+		finder:    NewFinder(cfg.Finder),
+		members:   make(map[core.WorkerID]string),
+		ownership: make(map[uint64]core.WorkerID),
+		recovered: make(map[core.WorldLine]core.Cut),
+		acked:     make(map[core.WorkerID]core.WorldLine),
+	}
+}
+
+func (s *Store) simulateLatency() {
+	if s.cfg.AccessLatency > 0 {
+		time.Sleep(s.cfg.AccessLatency)
+	}
+}
+
+// RegisterWorker implements Service.
+func (s *Store) RegisterWorker(w core.WorkerID, addr string) error {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[w] = addr
+	s.finder.AddWorker(w)
+	s.persistLocked()
+	return nil
+}
+
+// DeregisterWorker implements Service.
+func (s *Store) DeregisterWorker(w core.WorkerID) error {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.members, w)
+	s.finder.RemoveWorker(w)
+	s.persistLocked()
+	return nil
+}
+
+// ReportVersion implements Service.
+func (s *Store) ReportVersion(w core.WorkerID, v core.Version, deps []core.Token) error {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.members[w]; !ok {
+		return fmt.Errorf("metadata: unknown worker %d", w)
+	}
+	s.finder.Report(w, v, deps)
+	s.persistLocked()
+	return nil
+}
+
+// State implements Service. While recovery is in progress the cut is frozen
+// at its pre-failure value.
+func (s *Store) State() (core.Cut, core.Version, core.WorldLine, error) {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cut := s.finder.CurrentCut()
+	if s.frozen {
+		cut = s.frozenCut.Clone()
+	}
+	return cut, s.finder.MaxVersion(), s.worldLine, nil
+}
+
+// Members implements Service.
+func (s *Store) Members() (map[core.WorkerID]string, error) {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[core.WorkerID]string, len(s.members))
+	for w, a := range s.members {
+		out[w] = a
+	}
+	return out, nil
+}
+
+// OwnerOf implements Service.
+func (s *Store) OwnerOf(partition uint64) (core.WorkerID, error) {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.ownership[partition]
+	if !ok {
+		return 0, fmt.Errorf("metadata: partition %d unowned", partition)
+	}
+	return w, nil
+}
+
+// SetOwner implements Service.
+func (s *Store) SetOwner(partition uint64, w core.WorkerID) error {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ownership[partition] = w
+	s.persistLocked()
+	return nil
+}
+
+// RecoveredCut implements Service.
+func (s *Store) RecoveredCut(wl core.WorldLine) (core.Cut, error) {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.recovered[wl]
+	if !ok {
+		return nil, fmt.Errorf("metadata: world-line %d unknown", wl)
+	}
+	return c.Clone(), nil
+}
+
+// AckWorldLine implements Service.
+func (s *Store) AckWorldLine(w core.WorkerID, wl core.WorldLine) error {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wl > s.acked[w] {
+		s.acked[w] = wl
+	}
+	return nil
+}
+
+// AllAcked reports whether every registered member has confirmed rollback
+// into world-line wl.
+func (s *Store) AllAcked(wl core.WorldLine) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w := range s.members {
+		if s.acked[w] < wl {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- recovery orchestration hooks (used by the cluster manager) ----
+
+// BeginRecovery freezes DPR progress, assigns the next world-line, and
+// returns (newWorldLine, cutToRestore). Idempotent while frozen: a nested
+// failure during recovery advances the world-line again but keeps the same
+// recovery cut (no operations committed in between).
+func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.frozen {
+		s.frozen = true
+		s.frozenCut = s.finder.CurrentCut()
+	}
+	s.worldLine++
+	s.recovered[s.worldLine] = s.frozenCut.Clone()
+	s.persistLocked()
+	return s.worldLine, s.frozenCut.Clone()
+}
+
+// CompleteRecovery resumes DPR progress after all workers rolled back.
+func (s *Store) CompleteRecovery() {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = false
+	s.persistLocked()
+}
+
+// Frozen reports whether recovery is in progress.
+func (s *Store) Frozen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozen
+}
+
+// WorldLine returns the current world-line.
+func (s *Store) WorldLine() core.WorldLine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.worldLine
+}
+
+// ---- durability ----
+
+// persistLocked schedules a durable snapshot of the tables (if a device is
+// configured). Snapshots are serialized through one flusher goroutine so a
+// newer snapshot can never be overwritten by an older in-flight write. The
+// finder's internal state is rebuilt from worker re-reports on restart
+// (approximate) — matching the paper, where only the version table rows are
+// durable and the exact algorithm's graph may be in memory.
+func (s *Store) persistLocked() {
+	if s.cfg.Device == nil {
+		return
+	}
+	s.dirty = true
+	if s.flushing {
+		return
+	}
+	s.flushing = true
+	s.flushWG.Add(1)
+	go s.flushLoop()
+}
+
+// flushLoop drains dirty snapshots until none remain.
+func (s *Store) flushLoop() {
+	defer s.flushWG.Done()
+	for {
+		s.mu.Lock()
+		if !s.dirty {
+			s.flushing = false
+			s.mu.Unlock()
+			return
+		}
+		s.dirty = false
+		data := s.encodeSnapshotLocked()
+		s.mu.Unlock()
+		ch := make(chan struct{})
+		s.cfg.Device.WriteAsync(s.cfg.Blob, 0, data, func(error) { close(ch) })
+		<-ch
+	}
+}
+
+// Sync blocks until every scheduled snapshot has persisted (tests and
+// orderly shutdown).
+func (s *Store) Sync() { s.flushWG.Wait() }
+
+// encodeSnapshotLocked serializes the tables; caller holds s.mu.
+func (s *Store) encodeSnapshotLocked() []byte {
+	var buf bytes.Buffer
+	put := func(x uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], x)
+		buf.Write(b[:])
+	}
+	put(uint64(s.worldLine))
+	cut := s.finder.CurrentCut()
+	put(uint64(len(cut)))
+	for w, v := range cut {
+		put(uint64(w))
+		put(uint64(v))
+	}
+	put(uint64(len(s.members)))
+	for w, addr := range s.members {
+		put(uint64(w))
+		put(uint64(len(addr)))
+		buf.WriteString(addr)
+	}
+	put(uint64(len(s.ownership)))
+	for p, w := range s.ownership {
+		put(p)
+		put(uint64(w))
+	}
+	data := make([]byte, buf.Len())
+	copy(data, buf.Bytes())
+	return data
+}
+
+// LoadSnapshot reads back a persisted metadata snapshot (restart path).
+// Returns the world-line, last durable cut, members, and ownership table.
+func LoadSnapshot(dev storage.Device, blob string) (core.WorldLine, core.Cut, map[core.WorkerID]string, map[uint64]core.WorkerID, error) {
+	if blob == "" {
+		blob = "dpr-metadata"
+	}
+	size := dev.BlobSize(blob)
+	if size == 0 {
+		return 0, nil, nil, nil, errors.New("metadata: no snapshot")
+	}
+	raw, err := dev.Read(blob, 0, int(size))
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	off := 0
+	get := func() uint64 {
+		v := binary.LittleEndian.Uint64(raw[off:])
+		off += 8
+		return v
+	}
+	wl := core.WorldLine(get())
+	cut := make(core.Cut)
+	for n := get(); n > 0; n-- {
+		w := core.WorkerID(get())
+		cut[w] = core.Version(get())
+	}
+	members := make(map[core.WorkerID]string)
+	for n := get(); n > 0; n-- {
+		w := core.WorkerID(get())
+		l := int(get())
+		members[w] = string(raw[off : off+l])
+		off += l
+	}
+	ownership := make(map[uint64]core.WorkerID)
+	for n := get(); n > 0; n-- {
+		p := get()
+		ownership[p] = core.WorkerID(get())
+	}
+	return wl, cut, members, ownership, nil
+}
+
+var _ Service = (*Store)(nil)

@@ -1,0 +1,161 @@
+package metadata
+
+import (
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/storage"
+)
+
+func TestRegisterReportState(t *testing.T) {
+	s := NewStore(Config{Finder: FinderApproximate})
+	if err := s.RegisterWorker(1, "addr1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterWorker(2, "addr2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReportVersion(1, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	cut, vmax, wl, err := s.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmax != 3 || wl != 0 {
+		t.Fatalf("vmax=%d wl=%d", vmax, wl)
+	}
+	if cut.Get(1) != 0 {
+		t.Fatalf("cut must be pinned by worker 2: %v", cut)
+	}
+	if err := s.ReportVersion(2, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	cut, _, _, _ = s.State()
+	if cut.Get(1) != 2 || cut.Get(2) != 2 {
+		t.Fatalf("cut %v, want both at 2", cut)
+	}
+}
+
+func TestReportUnknownWorker(t *testing.T) {
+	s := NewStore(Config{})
+	if err := s.ReportVersion(9, 1, nil); err == nil {
+		t.Fatal("unknown worker must be rejected")
+	}
+}
+
+func TestMembersAndOwnership(t *testing.T) {
+	s := NewStore(Config{})
+	s.RegisterWorker(1, "a")
+	s.RegisterWorker(2, "b")
+	m, err := s.Members()
+	if err != nil || len(m) != 2 || m[1] != "a" {
+		t.Fatalf("members %v %v", m, err)
+	}
+	if _, err := s.OwnerOf(5); err == nil {
+		t.Fatal("unowned partition must error")
+	}
+	if err := s.SetOwner(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.OwnerOf(5)
+	if err != nil || w != 2 {
+		t.Fatalf("owner %d %v", w, err)
+	}
+	s.DeregisterWorker(2)
+	m, _ = s.Members()
+	if len(m) != 1 {
+		t.Fatalf("members after deregister: %v", m)
+	}
+}
+
+func TestRecoveryFreezesCut(t *testing.T) {
+	s := NewStore(Config{Finder: FinderApproximate})
+	s.RegisterWorker(1, "a")
+	s.ReportVersion(1, 2, nil)
+	wl, cut := s.BeginRecovery()
+	if wl != 1 || cut.Get(1) != 2 {
+		t.Fatalf("wl=%d cut=%v", wl, cut)
+	}
+	if !s.Frozen() {
+		t.Fatal("store must be frozen during recovery")
+	}
+	// Reports during recovery do not move the *visible* cut.
+	s.ReportVersion(1, 5, nil)
+	c2, _, wl2, _ := s.State()
+	if c2.Get(1) != 2 || wl2 != 1 {
+		t.Fatalf("cut must be frozen: %v (wl %d)", c2, wl2)
+	}
+	// Nested failure: same cut, next world-line.
+	wl3, cut3 := s.BeginRecovery()
+	if wl3 != 2 || !cut3.Equal(cut) {
+		t.Fatalf("nested recovery: wl=%d cut=%v", wl3, cut3)
+	}
+	s.CompleteRecovery()
+	if s.Frozen() {
+		t.Fatal("store must unfreeze")
+	}
+	c4, _, _, _ := s.State()
+	if c4.Get(1) != 5 {
+		t.Fatalf("cut must thaw to the live value: %v", c4)
+	}
+	// Recovered cuts retrievable per world-line.
+	for _, w := range []core.WorldLine{1, 2} {
+		rc, err := s.RecoveredCut(w)
+		if err != nil || rc.Get(1) != 2 {
+			t.Fatalf("recovered cut for %d: %v %v", w, rc, err)
+		}
+	}
+	if _, err := s.RecoveredCut(9); err == nil {
+		t.Fatal("unknown world-line must error")
+	}
+}
+
+func TestAccessLatencyInjection(t *testing.T) {
+	s := NewStore(Config{AccessLatency: 5 * time.Millisecond})
+	s.RegisterWorker(1, "a")
+	start := time.Now()
+	s.State()
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("latency injection not applied")
+	}
+}
+
+func TestPersistAndLoadSnapshot(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(Config{Finder: FinderApproximate, Device: dev})
+	s.RegisterWorker(1, "addr1")
+	s.ReportVersion(1, 4, nil)
+	s.SetOwner(7, 1)
+	s.BeginRecovery()
+	s.CompleteRecovery()
+	s.Sync() // wait for the serialized flusher to land the final snapshot
+	wl, cut, members, ownership, err := LoadSnapshot(dev, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl != 1 || cut.Get(1) != 4 || members[1] != "addr1" || ownership[7] != 1 {
+		t.Fatalf("snapshot: wl=%d cut=%v members=%v own=%v", wl, cut, members, ownership)
+	}
+}
+
+func TestLoadSnapshotMissing(t *testing.T) {
+	if _, _, _, _, err := LoadSnapshot(storage.NewNull(), ""); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+}
+
+func TestFinderKinds(t *testing.T) {
+	for _, k := range []FinderKind{FinderExact, FinderApproximate, FinderHybrid} {
+		f := NewFinder(k)
+		f.AddWorker(1)
+		f.Report(1, 1, nil)
+		if f.CurrentCut().Get(1) != 1 {
+			t.Fatalf("%s finder did not advance", k)
+		}
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

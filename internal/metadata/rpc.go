@@ -1,0 +1,299 @@
+package metadata
+
+import (
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"dpr/internal/core"
+)
+
+// This file exposes the metadata Service over the network (net/rpc with gob
+// encoding) so the cmd/ binaries can run a real multi-process deployment:
+// one dpr-finder process hosting the Store, N dpr-server worker processes,
+// and any number of clients. Recovery works without direct
+// manager-to-worker RPC: workers poll State(), notice the advanced
+// world-line, roll themselves back, and AckWorldLine; the finder's
+// coordinator waits for all acks before resuming DPR progress (§4.1).
+
+// RPC argument/reply types (exported for gob).
+type (
+	// RegisterArgs registers a worker.
+	RegisterArgs struct {
+		Worker core.WorkerID
+		Addr   string
+	}
+	// ReportArgs reports a persisted version.
+	ReportArgs struct {
+		Worker  core.WorkerID
+		Version core.Version
+		Deps    []core.Token
+	}
+	// StateReply carries the finder state.
+	StateReply struct {
+		Cut       core.Cut
+		Vmax      core.Version
+		WorldLine core.WorldLine
+	}
+	// OwnerArgs resolves a partition.
+	OwnerArgs struct{ Partition uint64 }
+	// OwnerReply names the owner.
+	OwnerReply struct{ Worker core.WorkerID }
+	// SetOwnerArgs assigns a partition.
+	SetOwnerArgs struct {
+		Partition uint64
+		Worker    core.WorkerID
+	}
+	// MembersReply lists the membership table.
+	MembersReply struct{ Members map[core.WorkerID]string }
+	// CutArgs names a world-line.
+	CutArgs struct{ WorldLine core.WorldLine }
+	// CutReply carries a cut.
+	CutReply struct{ Cut core.Cut }
+	// AckArgs confirms a rollback.
+	AckArgs struct {
+		Worker    core.WorkerID
+		WorldLine core.WorldLine
+	}
+	// HeartbeatArgs signals liveness.
+	HeartbeatArgs struct{ Worker core.WorkerID }
+	// Empty is the empty reply.
+	Empty struct{}
+)
+
+// RPCService adapts a Store to net/rpc.
+type RPCService struct {
+	store *Store
+
+	hbMu       sync.Mutex
+	heartbeats map[core.WorkerID]time.Time
+}
+
+// NewRPCService wraps a store.
+func NewRPCService(store *Store) *RPCService {
+	return &RPCService{store: store, heartbeats: make(map[core.WorkerID]time.Time)}
+}
+
+// RegisterWorker is the RPC for Service.RegisterWorker.
+func (s *RPCService) RegisterWorker(args *RegisterArgs, _ *Empty) error {
+	return s.store.RegisterWorker(args.Worker, args.Addr)
+}
+
+// DeregisterWorker is the RPC for Service.DeregisterWorker.
+func (s *RPCService) DeregisterWorker(args *RegisterArgs, _ *Empty) error {
+	return s.store.DeregisterWorker(args.Worker)
+}
+
+// ReportVersion is the RPC for Service.ReportVersion.
+func (s *RPCService) ReportVersion(args *ReportArgs, _ *Empty) error {
+	return s.store.ReportVersion(args.Worker, args.Version, args.Deps)
+}
+
+// State is the RPC for Service.State.
+func (s *RPCService) State(_ *Empty, reply *StateReply) error {
+	cut, vmax, wl, err := s.store.State()
+	if err != nil {
+		return err
+	}
+	reply.Cut, reply.Vmax, reply.WorldLine = cut, vmax, wl
+	return nil
+}
+
+// Members is the RPC for Service.Members.
+func (s *RPCService) Members(_ *Empty, reply *MembersReply) error {
+	m, err := s.store.Members()
+	if err != nil {
+		return err
+	}
+	reply.Members = m
+	return nil
+}
+
+// OwnerOf is the RPC for Service.OwnerOf.
+func (s *RPCService) OwnerOf(args *OwnerArgs, reply *OwnerReply) error {
+	w, err := s.store.OwnerOf(args.Partition)
+	if err != nil {
+		return err
+	}
+	reply.Worker = w
+	return nil
+}
+
+// SetOwner is the RPC for Service.SetOwner.
+func (s *RPCService) SetOwner(args *SetOwnerArgs, _ *Empty) error {
+	return s.store.SetOwner(args.Partition, args.Worker)
+}
+
+// RecoveredCut is the RPC for Service.RecoveredCut.
+func (s *RPCService) RecoveredCut(args *CutArgs, reply *CutReply) error {
+	c, err := s.store.RecoveredCut(args.WorldLine)
+	if err != nil {
+		return err
+	}
+	reply.Cut = c
+	return nil
+}
+
+// AckWorldLine is the RPC for Service.AckWorldLine.
+func (s *RPCService) AckWorldLine(args *AckArgs, _ *Empty) error {
+	return s.store.AckWorldLine(args.Worker, args.WorldLine)
+}
+
+// Heartbeat records a worker liveness signal.
+func (s *RPCService) Heartbeat(args *HeartbeatArgs, _ *Empty) error {
+	s.hbMu.Lock()
+	s.heartbeats[args.Worker] = time.Now()
+	s.hbMu.Unlock()
+	return nil
+}
+
+// Silent returns workers whose last heartbeat is older than timeout.
+func (s *RPCService) Silent(timeout time.Duration) []core.WorkerID {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	var out []core.WorkerID
+	now := time.Now()
+	for w, at := range s.heartbeats {
+		if now.Sub(at) > timeout {
+			out = append(out, w)
+			delete(s.heartbeats, w)
+		}
+	}
+	return out
+}
+
+// Serve starts the RPC service on addr, returning the listener (close it to
+// stop) and the resolved address.
+func Serve(store *Store, addr string) (*RPCService, net.Listener, error) {
+	svc := NewRPCService(store)
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Metadata", svc); err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return svc, ln, nil
+}
+
+// RPCClient is a Service backed by a remote metadata process.
+type RPCClient struct {
+	mu sync.Mutex
+	c  *rpc.Client
+	// addr for reconnects.
+	addr string
+}
+
+// Dial connects to a remote metadata service.
+func Dial(addr string) (*RPCClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RPCClient{c: c, addr: addr}, nil
+}
+
+// Close tears the connection down.
+func (c *RPCClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c.Close()
+}
+
+func (c *RPCClient) call(method string, args, reply any) error {
+	c.mu.Lock()
+	cl := c.c
+	c.mu.Unlock()
+	err := cl.Call(method, args, reply)
+	if err == rpc.ErrShutdown {
+		// One reconnect attempt: metadata hiccups must not kill workers.
+		nc, derr := rpc.Dial("tcp", c.addr)
+		if derr != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.c = nc
+		c.mu.Unlock()
+		return nc.Call(method, args, reply)
+	}
+	return err
+}
+
+// RegisterWorker implements Service.
+func (c *RPCClient) RegisterWorker(w core.WorkerID, addr string) error {
+	return c.call("Metadata.RegisterWorker", &RegisterArgs{Worker: w, Addr: addr}, &Empty{})
+}
+
+// DeregisterWorker implements Service.
+func (c *RPCClient) DeregisterWorker(w core.WorkerID) error {
+	return c.call("Metadata.DeregisterWorker", &RegisterArgs{Worker: w}, &Empty{})
+}
+
+// ReportVersion implements Service.
+func (c *RPCClient) ReportVersion(w core.WorkerID, v core.Version, deps []core.Token) error {
+	return c.call("Metadata.ReportVersion", &ReportArgs{Worker: w, Version: v, Deps: deps}, &Empty{})
+}
+
+// State implements Service.
+func (c *RPCClient) State() (core.Cut, core.Version, core.WorldLine, error) {
+	var reply StateReply
+	if err := c.call("Metadata.State", &Empty{}, &reply); err != nil {
+		return nil, 0, 0, err
+	}
+	return reply.Cut, reply.Vmax, reply.WorldLine, nil
+}
+
+// Members implements Service.
+func (c *RPCClient) Members() (map[core.WorkerID]string, error) {
+	var reply MembersReply
+	if err := c.call("Metadata.Members", &Empty{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Members, nil
+}
+
+// OwnerOf implements Service.
+func (c *RPCClient) OwnerOf(p uint64) (core.WorkerID, error) {
+	var reply OwnerReply
+	if err := c.call("Metadata.OwnerOf", &OwnerArgs{Partition: p}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Worker, nil
+}
+
+// SetOwner implements Service.
+func (c *RPCClient) SetOwner(p uint64, w core.WorkerID) error {
+	return c.call("Metadata.SetOwner", &SetOwnerArgs{Partition: p, Worker: w}, &Empty{})
+}
+
+// RecoveredCut implements Service.
+func (c *RPCClient) RecoveredCut(wl core.WorldLine) (core.Cut, error) {
+	var reply CutReply
+	if err := c.call("Metadata.RecoveredCut", &CutArgs{WorldLine: wl}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Cut, nil
+}
+
+// AckWorldLine implements Service.
+func (c *RPCClient) AckWorldLine(w core.WorkerID, wl core.WorldLine) error {
+	return c.call("Metadata.AckWorldLine", &AckArgs{Worker: w, WorldLine: wl}, &Empty{})
+}
+
+// Heartbeat signals liveness for worker w.
+func (c *RPCClient) Heartbeat(w core.WorkerID) error {
+	return c.call("Metadata.Heartbeat", &HeartbeatArgs{Worker: w}, &Empty{})
+}
+
+var _ Service = (*RPCClient)(nil)

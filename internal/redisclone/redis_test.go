@@ -1,0 +1,215 @@
+package redisclone
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dpr/internal/storage"
+)
+
+func newServer(t *testing.T, aof AOFMode) (*Server, *storage.MemDevice) {
+	t.Helper()
+	dev := storage.NewNull()
+	s := New(Config{Device: dev, Prefix: "r", AOF: aof})
+	t.Cleanup(s.Stop)
+	return s, dev
+}
+
+func TestSetGetDel(t *testing.T) {
+	s, _ := newServer(t, AOFOff)
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	existed, err := s.Del("k")
+	if err != nil || !existed {
+		t.Fatalf("del: %v %v", existed, err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("key must be gone")
+	}
+	if existed, _ := s.Del("k"); existed {
+		t.Fatal("double delete reports absent")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s, _ := newServer(t, AOFOff)
+	n, err := s.Incr("c", 5)
+	if err != nil || n != 5 {
+		t.Fatalf("incr: %d %v", n, err)
+	}
+	n, _ = s.Incr("c", -2)
+	if n != 3 {
+		t.Fatalf("incr: %d", n)
+	}
+}
+
+func TestBgSaveAndRestart(t *testing.T) {
+	dev := storage.NewNull()
+	s := New(Config{Device: dev, Prefix: "r"})
+	for i := 0; i < 50; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	id, err := s.BgSave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSaved(t, s, id)
+	// Post-snapshot writes are lost on restart — that is the point.
+	s.Set("k0", []byte("after-save"))
+	s.Stop()
+
+	r, err := Restart(Config{Device: dev, Prefix: "r"}, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	v, ok, _ := r.Get("k0")
+	if !ok || string(v) != "v0" {
+		t.Fatalf("restart: k0=%q ok=%v, want v0", v, ok)
+	}
+	v, ok, _ = r.Get("k49")
+	if !ok || string(v) != "v49" {
+		t.Fatalf("restart: k49=%q", v)
+	}
+	if r.LastSave() != id {
+		t.Fatalf("LastSave=%d want %d", r.LastSave(), id)
+	}
+}
+
+func waitSaved(t *testing.T, s *Server, id uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.LastSave() < id {
+		if time.Now().After(deadline) {
+			t.Fatalf("save %d never became durable", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRestartFromZeroIsEmpty(t *testing.T) {
+	dev := storage.NewNull()
+	r, err := Restart(Config{Device: dev, Prefix: "r"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if _, ok, _ := r.Get("anything"); ok {
+		t.Fatal("save 0 must be the empty pre-history")
+	}
+}
+
+func TestRestartMissingSnapshot(t *testing.T) {
+	dev := storage.NewNull()
+	if _, err := Restart(Config{Device: dev, Prefix: "r"}, 7); err == nil {
+		t.Fatal("restart from a missing snapshot must fail")
+	}
+}
+
+func TestMultipleSnapshotsSelectable(t *testing.T) {
+	dev := storage.NewNull()
+	s := New(Config{Device: dev, Prefix: "r"})
+	s.Set("k", []byte("one"))
+	id1, _ := s.BgSave()
+	waitSaved(t, s, id1)
+	s.Set("k", []byte("two"))
+	id2, _ := s.BgSave()
+	waitSaved(t, s, id2)
+	s.Stop()
+	// Restart from the older snapshot: sees "one".
+	r1, err := Restart(Config{Device: dev, Prefix: "r"}, id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := r1.Get("k")
+	r1.Stop()
+	if string(v) != "one" {
+		t.Fatalf("snapshot %d: got %q", id1, v)
+	}
+	r2, err := Restart(Config{Device: dev, Prefix: "r"}, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = r2.Get("k")
+	r2.Stop()
+	if string(v) != "two" {
+		t.Fatalf("snapshot %d: got %q", id2, v)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _ := newServer(t, AOFOff)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("g%d-%d", g, i%10)
+				if err := s.Set(key, []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Incr("shared", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n, _ := s.Incr("shared", 0)
+	if n != 8*500 {
+		t.Fatalf("shared counter = %d, want %d", n, 8*500)
+	}
+}
+
+func TestAOFAlwaysBlocksUntilDurable(t *testing.T) {
+	dev := storage.NewMemDevice("slow", storage.LatencyProfile{WriteLatency: 5 * time.Millisecond})
+	s := New(Config{Device: dev, Prefix: "r", AOF: AOFAlways})
+	defer s.Stop()
+	start := time.Now()
+	if err := s.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("AOFAlways must block on fsync, returned in %v", elapsed)
+	}
+	if dev.BlobSize("r-aof") == 0 {
+		t.Fatal("AOF blob must exist")
+	}
+}
+
+func TestAOFEverySecDoesNotBlock(t *testing.T) {
+	dev := storage.NewMemDevice("slow", storage.LatencyProfile{WriteLatency: 20 * time.Millisecond})
+	s := New(Config{Device: dev, Prefix: "r", AOF: AOFEverySec})
+	defer s.Stop()
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := s.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Millisecond {
+		t.Fatalf("AOFEverySec must not block, took %v", elapsed)
+	}
+}
+
+func TestStoppedServerErrors(t *testing.T) {
+	s, _ := newServer(t, AOFOff)
+	s.Stop()
+	if err := s.Set("k", []byte("v")); err == nil {
+		t.Fatal("write to stopped server must error")
+	}
+}

@@ -1,0 +1,272 @@
+// Package stats provides the measurement primitives the benchmark harness
+// uses to regenerate the paper's figures: a fixed-memory log-bucketed
+// latency histogram (percentiles for Figures 12/13/18) and a time-series
+// throughput recorder (the 250ms-granularity recovery timeline of
+// Figure 16).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrent log-bucketed latency histogram covering
+// [1µs, ~17min] with ~4% relative error.
+type Histogram struct {
+	buckets [512]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // microseconds
+	max     atomic.Uint64 // microseconds
+}
+
+// bucketOf maps a duration to a bucket: 64 sub-buckets per power of two of
+// microseconds.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	exp := 63 - leadingZeros(uint64(us))
+	frac := 0
+	if exp >= 3 {
+		frac = int((us >> (uint(exp) - 3)) & 7)
+	}
+	b := exp*8 + frac
+	if b >= len((&Histogram{}).buckets) {
+		b = len((&Histogram{}).buckets) - 1
+	}
+	return b
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+func bucketLower(b int) time.Duration {
+	exp := b / 8
+	frac := b % 8
+	us := int64(1) << uint(exp)
+	if exp >= 3 {
+		us += int64(frac) << (uint(exp) - 3)
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	us := uint64(d.Microseconds())
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/c) * time.Microsecond
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// Percentile returns the p'th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(float64(total) * p / 100))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b := range h.buckets {
+		cum += h.buckets[b].Load()
+		if cum >= target {
+			return bucketLower(b)
+		}
+	}
+	return h.Max()
+}
+
+// Summary renders mean/p50/p99/p999/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(90),
+		h.Percentile(99), h.Percentile(99.9), h.Max())
+}
+
+// Distribution returns (lowerBound, count) pairs for non-empty buckets, for
+// rendering latency CDFs like Figures 12 and 18.
+func (h *Histogram) Distribution() []BucketCount {
+	var out []BucketCount
+	for b := range h.buckets {
+		if c := h.buckets[b].Load(); c > 0 {
+			out = append(out, BucketCount{Lower: bucketLower(b), Count: c})
+		}
+	}
+	return out
+}
+
+// BucketCount is one histogram bucket.
+type BucketCount struct {
+	Lower time.Duration
+	Count uint64
+}
+
+// CDF returns (latency, cumulative fraction) points.
+func (h *Histogram) CDF() []CDFPoint {
+	dist := h.Distribution()
+	total := h.Count()
+	var out []CDFPoint
+	var cum uint64
+	for _, b := range dist {
+		cum += b.Count
+		out = append(out, CDFPoint{Latency: b.Lower, Fraction: float64(cum) / float64(total)})
+	}
+	return out
+}
+
+// CDFPoint is one point of a latency CDF.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// Counter is a concurrent event counter with snapshot support.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// TimeSeries samples a set of counters at a fixed interval, producing the
+// throughput-over-time traces of Figure 16.
+type TimeSeries struct {
+	interval time.Duration
+	names    []string
+	sources  []*Counter
+
+	mu      sync.Mutex
+	samples [][]uint64 // per tick, per source: cumulative value
+	start   time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewTimeSeries starts sampling the named counters every interval.
+func NewTimeSeries(interval time.Duration, names []string, sources []*Counter) *TimeSeries {
+	ts := &TimeSeries{
+		interval: interval,
+		names:    names,
+		sources:  sources,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+	ts.wg.Add(1)
+	go ts.loop()
+	return ts
+}
+
+func (ts *TimeSeries) loop() {
+	defer ts.wg.Done()
+	t := time.NewTicker(ts.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ts.stop:
+			return
+		case <-t.C:
+			row := make([]uint64, len(ts.sources))
+			for i, c := range ts.sources {
+				row[i] = c.Load()
+			}
+			ts.mu.Lock()
+			ts.samples = append(ts.samples, row)
+			ts.mu.Unlock()
+		}
+	}
+}
+
+// Stop halts sampling.
+func (ts *TimeSeries) Stop() {
+	ts.stopOnce.Do(func() { close(ts.stop) })
+	ts.wg.Wait()
+}
+
+// Row is one tick of per-source rates.
+type Row struct {
+	At    time.Duration
+	Rates []float64 // events/second in that tick, per source
+}
+
+// Rates converts cumulative samples into per-tick rates.
+func (ts *TimeSeries) Rates() []Row {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Row, 0, len(ts.samples))
+	prev := make([]uint64, len(ts.sources))
+	secs := ts.interval.Seconds()
+	for i, row := range ts.samples {
+		rates := make([]float64, len(row))
+		for j, v := range row {
+			rates[j] = float64(v-prev[j]) / secs
+			prev[j] = v
+		}
+		out = append(out, Row{At: time.Duration(i+1) * ts.interval, Rates: rates})
+	}
+	return out
+}
+
+// Render prints the series as an aligned table (one line per tick).
+func (ts *TimeSeries) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10s", "t")
+	for _, n := range ts.names {
+		fmt.Fprintf(&sb, " %14s", n)
+	}
+	sb.WriteByte('\n')
+	for _, row := range ts.Rates() {
+		fmt.Fprintf(&sb, "%10s", row.At.Truncate(time.Millisecond))
+		for _, r := range row.Rates {
+			fmt.Fprintf(&sb, " %14.0f", r)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SortDurations is a helper for exact small-sample percentiles in tests.
+func SortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}

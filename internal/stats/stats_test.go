@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*time.Millisecond || p99 > 105*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~99ms", p99)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 55*time.Millisecond {
+		t.Fatalf("mean %v, want ~50.5ms", mean)
+	}
+	if !strings.Contains(h.Summary(), "n=100") {
+		t.Fatalf("summary: %s", h.Summary())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	var h Histogram
+	const sample = 7 * time.Millisecond
+	h.Record(sample)
+	got := h.Percentile(100)
+	err := math.Abs(float64(got-sample)) / float64(sample)
+	if err > 0.15 {
+		t.Fatalf("bucket error %f too large (got %v for %v)", err, got, sample)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(i%1000+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Millisecond)
+	}
+	h.Record(time.Second)
+	cdf := h.CDF()
+	if len(cdf) < 2 {
+		t.Fatalf("cdf too short: %v", cdf)
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("cdf must end at 1.0, got %f", last.Fraction)
+	}
+	if cdf[0].Fraction < 0.99 {
+		t.Fatalf("first bucket should hold ~all samples, got %f", cdf[0].Fraction)
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for us := int64(1); us < 1e9; us *= 3 {
+		b := bucketOf(time.Duration(us) * time.Microsecond)
+		if b < prev {
+			t.Fatalf("bucket not monotone at %dus: %d < %d", us, b, prev)
+		}
+		prev = b
+	}
+}
+
+// Property: percentile is monotone in p and bounded by max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s%1e6+1) * time.Microsecond)
+		}
+		prev := time.Duration(0)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) <= h.Max()+h.Max()/4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ops Counter
+	ts := NewTimeSeries(10*time.Millisecond, []string{"ops"}, []*Counter{&ops})
+	for i := 0; i < 5; i++ {
+		ops.Add(100)
+		time.Sleep(12 * time.Millisecond)
+	}
+	ts.Stop()
+	rows := ts.Rates()
+	if len(rows) < 3 {
+		t.Fatalf("expected >=3 samples, got %d", len(rows))
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.Rates[0] * 0.01
+	}
+	if total < 300 || total > 500 {
+		t.Fatalf("integrated rate %f, want ~500", total)
+	}
+	if !strings.Contains(ts.Render(), "ops") {
+		t.Fatal("render must include series name")
+	}
+}
+
+func TestSortDurations(t *testing.T) {
+	ds := []time.Duration{3, 1, 2}
+	SortDurations(ds)
+	if ds[0] != 1 || ds[2] != 3 {
+		t.Fatalf("%v", ds)
+	}
+}

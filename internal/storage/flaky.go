@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error FlakyDevice returns on injected failures.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FlakyDevice wraps another Device and injects write and/or read failures on
+// demand — the substrate for tests that verify checkpoint retries, abandoned
+// checkpoints, and recovery resilience against storage faults.
+type FlakyDevice struct {
+	inner Device
+
+	failWrites atomic.Bool
+	failReads  atomic.Bool
+
+	mu        sync.Mutex
+	failedOps int
+	// failNextN makes exactly the next N writes fail, then auto-heals.
+	failNextN int
+}
+
+// NewFlaky wraps inner.
+func NewFlaky(inner Device) *FlakyDevice { return &FlakyDevice{inner: inner} }
+
+// FailWrites toggles persistent write failures.
+func (d *FlakyDevice) FailWrites(on bool) { d.failWrites.Store(on) }
+
+// FailReads toggles persistent read failures.
+func (d *FlakyDevice) FailReads(on bool) { d.failReads.Store(on) }
+
+// FailNextWrites makes exactly the next n writes fail, then heals.
+func (d *FlakyDevice) FailNextWrites(n int) {
+	d.mu.Lock()
+	d.failNextN = n
+	d.mu.Unlock()
+}
+
+// FailedOps reports how many operations were failed by injection.
+func (d *FlakyDevice) FailedOps() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failedOps
+}
+
+func (d *FlakyDevice) shouldFailWrite() bool {
+	if d.failWrites.Load() {
+		d.mu.Lock()
+		d.failedOps++
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failNextN > 0 {
+		d.failNextN--
+		d.failedOps++
+		return true
+	}
+	return false
+}
+
+// WriteAsync implements Device.
+func (d *FlakyDevice) WriteAsync(blob string, offset int64, data []byte, done func(error)) {
+	if d.shouldFailWrite() {
+		go done(ErrInjected)
+		return
+	}
+	d.inner.WriteAsync(blob, offset, data, done)
+}
+
+// Read implements Device.
+func (d *FlakyDevice) Read(blob string, offset int64, size int) ([]byte, error) {
+	if d.failReads.Load() {
+		d.mu.Lock()
+		d.failedOps++
+		d.mu.Unlock()
+		return nil, ErrInjected
+	}
+	return d.inner.Read(blob, offset, size)
+}
+
+// BlobSize implements Device.
+func (d *FlakyDevice) BlobSize(blob string) int64 { return d.inner.BlobSize(blob) }
+
+// Delete implements Device.
+func (d *FlakyDevice) Delete(blob string) error { return d.inner.Delete(blob) }
+
+// Name implements Device.
+func (d *FlakyDevice) Name() string { return "flaky:" + d.inner.Name() }
+
+// Close implements Device.
+func (d *FlakyDevice) Close() error { return d.inner.Close() }
+
+var _ Device = (*FlakyDevice)(nil)

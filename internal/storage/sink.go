@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// SinkDevice models a device's write latency without retaining data: writes
+// complete after the profile's delay and are discarded; reads fail. It is
+// the benchmark harness's device of choice for throughput experiments,
+// where retaining gigabytes of flushed log in a MemDevice would distort
+// memory behaviour. Blob sizes are tracked so checkpoint metadata probes
+// still work. Never use it where recovery must re-read data (MemDevice or
+// FileDevice there).
+type SinkDevice struct {
+	name    string
+	profile LatencyProfile
+
+	mu     sync.Mutex
+	sizes  map[string]int64
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewSink creates a data-discarding device with the given latency profile.
+func NewSink(name string, profile LatencyProfile) *SinkDevice {
+	return &SinkDevice{name: name, profile: profile, sizes: make(map[string]int64)}
+}
+
+// Name implements Device.
+func (d *SinkDevice) Name() string { return "sink:" + d.name }
+
+// WriteAsync implements Device: delay, then discard.
+func (d *SinkDevice) WriteAsync(blob string, offset int64, data []byte, done func(error)) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		done(errors.New("storage: device closed"))
+		return
+	}
+	if end := offset + int64(len(data)); end > d.sizes[blob] {
+		d.sizes[blob] = end
+	}
+	d.wg.Add(1)
+	d.mu.Unlock()
+	delay := d.profile.writeDelay(len(data))
+	complete := func() {
+		defer d.wg.Done()
+		done(nil)
+	}
+	if delay == 0 {
+		go complete()
+		return
+	}
+	timeAfterFunc(delay, complete)
+}
+
+// Read implements Device; sinks cannot be read back.
+func (d *SinkDevice) Read(blob string, offset int64, size int) ([]byte, error) {
+	return nil, fmt.Errorf("%w: %s (sink device discards data)", ErrBlobNotFound, blob)
+}
+
+// BlobSize implements Device.
+func (d *SinkDevice) BlobSize(blob string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sizes[blob]
+}
+
+// Delete implements Device.
+func (d *SinkDevice) Delete(blob string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.sizes, blob)
+	return nil
+}
+
+// Close waits for in-flight writes.
+func (d *SinkDevice) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.wg.Wait()
+	return nil
+}
+
+var _ Device = (*SinkDevice)(nil)

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSinkDeviceBasics(t *testing.T) {
+	d := NewSink("x", NullProfile)
+	if d.Name() != "sink:x" {
+		t.Fatalf("name %q", d.Name())
+	}
+	ch := make(chan error, 1)
+	d.WriteAsync("b", 0, []byte("hello"), func(err error) { ch <- err })
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if d.BlobSize("b") != 5 {
+		t.Fatalf("size %d", d.BlobSize("b"))
+	}
+	// Sinks discard data: reads must fail with ErrBlobNotFound.
+	if _, err := d.Read("b", 0, 5); !errors.Is(err, ErrBlobNotFound) {
+		t.Fatalf("expected ErrBlobNotFound, got %v", err)
+	}
+	if err := d.Delete("b"); err != nil || d.BlobSize("b") != 0 {
+		t.Fatal("delete must clear the size")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d.WriteAsync("b", 0, []byte("x"), func(err error) { ch <- err })
+	if err := <-ch; err == nil {
+		t.Fatal("write after close must fail")
+	}
+}
+
+func TestSinkDeviceLatency(t *testing.T) {
+	d := NewSink("slow", LatencyProfile{WriteLatency: 10 * time.Millisecond})
+	defer d.Close()
+	start := time.Now()
+	ch := make(chan error, 1)
+	d.WriteAsync("b", 0, []byte("data"), func(err error) { ch <- err })
+	if err := <-ch; err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 8*time.Millisecond {
+		t.Fatal("latency model not applied")
+	}
+}
+
+func TestFlakyDeviceInjection(t *testing.T) {
+	inner := NewNull()
+	d := NewFlaky(inner)
+	if d.Name() != "flaky:null" {
+		t.Fatalf("name %q", d.Name())
+	}
+	write := func() error {
+		ch := make(chan error, 1)
+		d.WriteAsync("b", 0, []byte("v"), func(err error) { ch <- err })
+		return <-ch
+	}
+	if err := write(); err != nil {
+		t.Fatal(err)
+	}
+	d.FailWrites(true)
+	if err := write(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	d.FailWrites(false)
+	if err := write(); err != nil {
+		t.Fatal(err)
+	}
+	// FailNextWrites: exactly n failures, then heals.
+	d.FailNextWrites(2)
+	for i := 0; i < 2; i++ {
+		if err := write(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d should fail", i)
+		}
+	}
+	if err := write(); err != nil {
+		t.Fatalf("device should have healed: %v", err)
+	}
+	if d.FailedOps() != 3 {
+		t.Fatalf("failed ops %d, want 3", d.FailedOps())
+	}
+	// Reads.
+	if _, err := d.Read("b", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.FailReads(true)
+	if _, err := d.Read("b", 0, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected read failure, got %v", err)
+	}
+	d.FailReads(false)
+	if d.BlobSize("b") != 1 {
+		t.Fatal("pass-through BlobSize")
+	}
+	if err := d.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceConstructorsAndAccessors(t *testing.T) {
+	local := NewLocalSSD()
+	cloud := NewCloudSSD()
+	if local.Name() != "local-ssd" || cloud.Name() != "cloud-ssd" {
+		t.Fatalf("names %q %q", local.Name(), cloud.Name())
+	}
+	local.Write("a", 0, []byte("1"))
+	local.Write("b", 0, []byte("2"))
+	blobs := local.Blobs()
+	if len(blobs) != 2 {
+		t.Fatalf("blobs %v", blobs)
+	}
+	local.Close()
+	cloud.Close()
+	f, err := NewFileDevice(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Name() == "" {
+		t.Fatal("file device must have a name")
+	}
+}

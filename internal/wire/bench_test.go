@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+
+	"dpr/internal/core"
+	"dpr/internal/libdpr"
+)
+
+func benchBatch(n int) *BatchRequest {
+	req := &BatchRequest{
+		Header: libdpr.BatchHeader{
+			SessionID: 7, WorldLine: 1, Vs: 42, SeqStart: 1000, NumOps: uint32(n),
+			Dep: core.Token{Worker: 3, Version: 41},
+		},
+	}
+	for i := 0; i < n; i++ {
+		req.Ops = append(req.Ops, Op{
+			Kind: OpUpsert, Key: []byte("12345678"), Value: []byte("abcdefgh"),
+		})
+	}
+	return req
+}
+
+func BenchmarkEncodeBatch64(b *testing.B) {
+	req := benchBatch(64)
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		total += len(EncodeBatchRequest(req))
+	}
+	_ = total
+}
+
+func BenchmarkDecodeBatch64(b *testing.B) {
+	payload := EncodeBatchRequest(benchBatch(64))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatchRequest(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeReply64(b *testing.B) {
+	rep := &BatchReply{WorldLine: 1, Cut: core.Cut{1: 10, 2: 9}}
+	for i := 0; i < 64; i++ {
+		rep.Results = append(rep.Results, OpResult{Status: StatusOK, Version: 10})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeBatchReply(rep)
+	}
+}
+
+func BenchmarkDecodeReply64(b *testing.B) {
+	rep := &BatchReply{WorldLine: 1, Cut: core.Cut{1: 10, 2: 9}}
+	for i := 0; i < 64; i++ {
+		rep.Results = append(rep.Results, OpResult{Status: StatusOK, Version: 10})
+	}
+	payload := EncodeBatchReply(rep)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatchReply(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

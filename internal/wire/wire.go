@@ -1,0 +1,310 @@
+// Package wire defines the binary protocol between D-FASTER/D-Redis clients
+// and workers: length-prefixed frames carrying request batches with DPR
+// headers (§6) and replies with per-operation versions plus a piggybacked
+// DPR cut. The encoding is hand-rolled little-endian — no reflection — so
+// the serialization cost stays negligible next to the operations themselves.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dpr/internal/core"
+	"dpr/internal/libdpr"
+)
+
+// Frame type tags.
+const (
+	FrameBatchRequest byte = 1
+	FrameBatchReply   byte = 2
+	FrameError        byte = 3
+)
+
+// Op kinds inside a batch.
+const (
+	OpRead   byte = 1
+	OpUpsert byte = 2
+	OpDelete byte = 3
+	OpRMW    byte = 4
+)
+
+// Op statuses in replies (mirrors kv.Status but wire-stable).
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusError    byte = 3
+)
+
+// Error codes in error frames.
+const (
+	ErrCodeRejected  byte = 1 // world-line mismatch: client must recover
+	ErrCodeBadOwner  byte = 2 // key not owned by this worker
+	ErrCodeInternal  byte = 3
+	ErrCodeRetryable byte = 4
+)
+
+// MaxFrameSize bounds a single frame (16 MiB).
+const MaxFrameSize = 16 << 20
+
+// Op is one operation in a batch.
+type Op struct {
+	Kind  byte
+	Key   []byte
+	Value []byte // upsert payload, or 8-byte RMW delta
+}
+
+// BatchRequest is a client→worker frame.
+type BatchRequest struct {
+	Header libdpr.BatchHeader
+	Ops    []Op
+}
+
+// OpResult is one operation's outcome in a reply.
+type OpResult struct {
+	Status  byte
+	Version core.Version
+	Value   []byte
+}
+
+// BatchReply is a worker→client frame.
+type BatchReply struct {
+	WorldLine core.WorldLine
+	Results   []OpResult
+	Cut       core.Cut
+}
+
+// ErrorReply is a worker→client error frame.
+type ErrorReply struct {
+	Code      byte
+	WorldLine core.WorldLine
+	Message   string
+}
+
+func (e *ErrorReply) Error() string {
+	return fmt.Sprintf("wire: remote error %d (world-line %d): %s", e.Code, e.WorldLine, e.Message)
+}
+
+// ---- encoding helpers ----
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v byte)    { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	v := d.buf[d.off : d.off+n]
+	d.off += n
+	return v
+}
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("wire: truncated frame")
+	}
+}
+
+// ---- frame I/O ----
+
+// WriteFrame writes a tagged, length-prefixed frame.
+func WriteFrame(w *bufio.Writer, tag byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = tag
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, returning its tag and payload.
+func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: bad frame size %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return payload[0], payload[1:], nil
+}
+
+// ---- batch request ----
+
+// EncodeBatchRequest serializes a batch request payload.
+func EncodeBatchRequest(b *BatchRequest) []byte {
+	e := &encoder{buf: make([]byte, 0, 64+len(b.Ops)*32)}
+	h := b.Header
+	e.u64(h.SessionID)
+	e.u64(uint64(h.WorldLine))
+	e.u64(uint64(h.Vs))
+	e.u64(h.SeqStart)
+	e.u32(h.NumOps)
+	e.u32(uint32(h.Dep.Worker))
+	e.u64(uint64(h.Dep.Version))
+	e.u32(uint32(len(b.Ops)))
+	for _, op := range b.Ops {
+		e.u8(op.Kind)
+		e.bytes(op.Key)
+		e.bytes(op.Value)
+	}
+	return e.buf
+}
+
+// DecodeBatchRequest parses a batch request payload.
+func DecodeBatchRequest(p []byte) (*BatchRequest, error) {
+	d := &decoder{buf: p}
+	var b BatchRequest
+	b.Header.SessionID = d.u64()
+	b.Header.WorldLine = core.WorldLine(d.u64())
+	b.Header.Vs = core.Version(d.u64())
+	b.Header.SeqStart = d.u64()
+	b.Header.NumOps = d.u32()
+	b.Header.Dep.Worker = core.WorkerID(d.u32())
+	b.Header.Dep.Version = core.Version(d.u64())
+	n := int(d.u32())
+	if d.err == nil && n > 0 {
+		if n > len(p) { // cheap sanity bound
+			return nil, errors.New("wire: op count exceeds frame")
+		}
+		b.Ops = make([]Op, n)
+		for i := 0; i < n; i++ {
+			b.Ops[i].Kind = d.u8()
+			b.Ops[i].Key = append([]byte(nil), d.bytes()...)
+			b.Ops[i].Value = append([]byte(nil), d.bytes()...)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &b, nil
+}
+
+// ---- batch reply ----
+
+// EncodeBatchReply serializes a reply payload.
+func EncodeBatchReply(r *BatchReply) []byte {
+	e := &encoder{buf: make([]byte, 0, 32+len(r.Results)*24)}
+	e.u64(uint64(r.WorldLine))
+	e.u32(uint32(len(r.Results)))
+	for _, res := range r.Results {
+		e.u8(res.Status)
+		e.u64(uint64(res.Version))
+		e.bytes(res.Value)
+	}
+	e.u32(uint32(len(r.Cut)))
+	for w, v := range r.Cut {
+		e.u32(uint32(w))
+		e.u64(uint64(v))
+	}
+	return e.buf
+}
+
+// DecodeBatchReply parses a reply payload.
+func DecodeBatchReply(p []byte) (*BatchReply, error) {
+	d := &decoder{buf: p}
+	var r BatchReply
+	r.WorldLine = core.WorldLine(d.u64())
+	n := int(d.u32())
+	if d.err == nil && n > 0 {
+		if n > len(p) {
+			return nil, errors.New("wire: result count exceeds frame")
+		}
+		r.Results = make([]OpResult, n)
+		for i := 0; i < n; i++ {
+			r.Results[i].Status = d.u8()
+			r.Results[i].Version = core.Version(d.u64())
+			if v := d.bytes(); len(v) > 0 {
+				r.Results[i].Value = append([]byte(nil), v...)
+			}
+		}
+	}
+	cn := int(d.u32())
+	if d.err == nil && cn > 0 {
+		r.Cut = make(core.Cut, cn)
+		for i := 0; i < cn; i++ {
+			w := core.WorkerID(d.u32())
+			r.Cut[w] = core.Version(d.u64())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &r, nil
+}
+
+// ---- error reply ----
+
+// EncodeError serializes an error payload.
+func EncodeError(e *ErrorReply) []byte {
+	enc := &encoder{}
+	enc.u8(e.Code)
+	enc.u64(uint64(e.WorldLine))
+	enc.bytes([]byte(e.Message))
+	return enc.buf
+}
+
+// DecodeError parses an error payload.
+func DecodeError(p []byte) (*ErrorReply, error) {
+	d := &decoder{buf: p}
+	var e ErrorReply
+	e.Code = d.u8()
+	e.WorldLine = core.WorldLine(d.u64())
+	e.Message = string(d.bytes())
+	if d.err != nil {
+		return nil, d.err
+	}
+	return &e, nil
+}

@@ -1,0 +1,187 @@
+// Package workload generates YCSB-style workloads (§7.1): N distinct 8-byte
+// keys with 8-byte values, uniform or Zipfian(θ=0.99) access patterns, and
+// configurable read : blind-update mixes (the paper writes them as R:BU,
+// e.g. 50:50 for YCSB-A). Generators are deterministic per seed so runs are
+// reproducible.
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// OpKind is the workload-level operation type.
+type OpKind uint8
+
+const (
+	// OpRead is a point read.
+	OpRead OpKind = iota
+	// OpUpdate is a blind update (upsert).
+	OpUpdate
+	// OpRMW is a read-modify-write.
+	OpRMW
+)
+
+// Distribution selects the key access pattern.
+type Distribution uint8
+
+const (
+	// Uniform draws keys uniformly at random.
+	Uniform Distribution = iota
+	// Zipfian draws keys with Zipfian(θ) skew using the Gray et al.
+	// algorithm YCSB uses.
+	Zipfian
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Keys is the number of distinct keys (paper: 250M; scale down for
+	// single-machine runs).
+	Keys int64
+	// ReadFraction is the fraction of reads; the rest are blind updates
+	// (0.5 = YCSB-A 50:50).
+	ReadFraction float64
+	// RMWFraction carves read-modify-writes out of the update share.
+	RMWFraction float64
+	// Dist selects uniform or Zipfian.
+	Dist Distribution
+	// Theta is the Zipfian skew (paper: 0.99). Ignored for Uniform.
+	Theta float64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  [8]byte
+}
+
+// Generator produces a deterministic operation stream. Not safe for
+// concurrent use; create one per client goroutine (vary Seed).
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	zip *zipfGen
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1 << 20
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Dist == Zipfian {
+		g.zip = newZipfGen(cfg.Keys, cfg.Theta)
+	}
+	return g
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	var op Op
+	r := g.rng.Float64()
+	switch {
+	case r < g.cfg.ReadFraction:
+		op.Kind = OpRead
+	case r < g.cfg.ReadFraction+g.cfg.RMWFraction:
+		op.Kind = OpRMW
+	default:
+		op.Kind = OpUpdate
+	}
+	if g.zip != nil {
+		// Scramble so Zipfian's hottest items are spread over the keyspace
+		// (YCSB's ScrambledZipfian) — otherwise keys 0..n would be hottest
+		// and co-locate in one shard. Like YCSB's, the hash-then-mod is not
+		// a bijection; the hot set stays hot, which is all that matters.
+		k := g.zip.next(g.rng)
+		binary.LittleEndian.PutUint64(op.Key[:], scramble(uint64(k))%uint64(g.cfg.Keys))
+	} else {
+		binary.LittleEndian.PutUint64(op.Key[:], uint64(g.rng.Int63n(g.cfg.Keys)))
+	}
+	return op
+}
+
+// NextKey returns just a key (for load phases).
+func (g *Generator) NextKey() [8]byte {
+	op := g.Next()
+	return op.Key
+}
+
+// KeyAt returns the i'th key in load order (sequential load phase).
+func KeyAt(i int64) [8]byte {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], uint64(i))
+	return k
+}
+
+func scramble(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// zipfGen implements the Gray et al. bounded Zipfian generator (the same
+// algorithm YCSB uses), producing values in [0, n).
+type zipfGen struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+func newZipfGen(n int64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zetan = zetaStatic(n, theta)
+	z.zeta2 = zetaStatic(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zetaStatic computes the generalized harmonic number zeta(n, theta).
+// For large n it uses an integral approximation to avoid O(n) setup cost
+// with hundreds of millions of keys.
+func zetaStatic(n int64, theta float64) float64 {
+	if n <= 1<<20 {
+		sum := 0.0
+		for i := int64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	// Exact prefix + integral tail: zeta(n) ≈ zeta(m) + ∫_m^n x^-θ dx.
+	const m = 1 << 20
+	sum := zetaStatic(m, theta)
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(m), 1-theta)) / (1 - theta)
+	return sum
+}
+
+func (z *zipfGen) next(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Value8 returns a fixed 8-byte value payload derived from a key (paper:
+// 8-byte values).
+func Value8(key [8]byte) [8]byte {
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], scramble(binary.LittleEndian.Uint64(key[:])))
+	return v
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformMixRatios(t *testing.T) {
+	g := NewGenerator(Config{Keys: 1000, ReadFraction: 0.5, Dist: Uniform, Seed: 1})
+	const n = 100000
+	reads := 0
+	for i := 0; i < n; i++ {
+		if g.Next().Kind == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("read fraction %f, want ~0.5", frac)
+	}
+}
+
+func TestRMWFraction(t *testing.T) {
+	g := NewGenerator(Config{Keys: 1000, ReadFraction: 0.5, RMWFraction: 0.25, Dist: Uniform, Seed: 2})
+	const n = 100000
+	var rmw, upd int
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case OpRMW:
+			rmw++
+		case OpUpdate:
+			upd++
+		}
+	}
+	if math.Abs(float64(rmw)/n-0.25) > 0.02 {
+		t.Fatalf("rmw fraction %f, want ~0.25", float64(rmw)/n)
+	}
+	if math.Abs(float64(upd)/n-0.25) > 0.02 {
+		t.Fatalf("update fraction %f, want ~0.25", float64(upd)/n)
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipfian} {
+		g := NewGenerator(Config{Keys: 5000, ReadFraction: 0.5, Dist: dist, Theta: 0.99, Seed: 3})
+		for i := 0; i < 50000; i++ {
+			k := keyU64(g.Next())
+			if k >= 5000 {
+				t.Fatalf("dist %d: key %d out of range", dist, k)
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const keys = 10000
+	g := NewGenerator(Config{Keys: keys, ReadFraction: 0.5, Dist: Zipfian, Theta: 0.99, Seed: 4})
+	counts := make(map[uint64]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[keyU64(g.Next())]++
+	}
+	// The hottest key should take a few percent of traffic under θ=0.99;
+	// uniform would give each key 0.01%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.01 {
+		t.Fatalf("hottest key only %f of traffic; not Zipfian", float64(max)/n)
+	}
+	// And the skew must be far from uniform: fewer than half the keys
+	// should have been touched at all.
+	if len(counts) > keys*3/4 {
+		t.Fatalf("%d/%d keys touched; distribution looks uniform", len(counts), keys)
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	const keys = 1000
+	g := NewGenerator(Config{Keys: keys, ReadFraction: 0.5, Dist: Uniform, Seed: 5})
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[keyU64(g.Next())]++
+	}
+	if len(counts) < keys*95/100 {
+		t.Fatalf("only %d/%d keys touched under uniform", len(counts), keys)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := NewGenerator(Config{Keys: 1000, ReadFraction: 0.5, Dist: Zipfian, Seed: 42})
+	b := NewGenerator(Config{Keys: 1000, ReadFraction: 0.5, Dist: Zipfian, Seed: 42})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewGenerator(Config{Keys: 1000, ReadFraction: 0.5, Dist: Zipfian, Seed: 43})
+	same := 0
+	a2 := NewGenerator(Config{Keys: 1000, ReadFraction: 0.5, Dist: Zipfian, Seed: 42})
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("different seeds produce nearly identical streams")
+	}
+}
+
+func TestZetaIntegralApproximation(t *testing.T) {
+	// The integral tail approximation must be close to the exact sum.
+	exact := 0.0
+	n := int64(1 << 21)
+	for i := int64(1); i <= n; i++ {
+		exact += 1 / math.Pow(float64(i), 0.99)
+	}
+	approx := zetaStatic(n, 0.99)
+	if math.Abs(exact-approx)/exact > 0.001 {
+		t.Fatalf("zeta approximation off: exact %f approx %f", exact, approx)
+	}
+}
+
+func TestValue8Deterministic(t *testing.T) {
+	k := KeyAt(123)
+	if Value8(k) != Value8(k) {
+		t.Fatal("Value8 must be deterministic")
+	}
+	if Value8(k) == Value8(KeyAt(124)) {
+		t.Fatal("different keys should map to different values")
+	}
+}
+
+// Property: generated keys always fall in [0, Keys) for any config.
+func TestKeyRangeProperty(t *testing.T) {
+	prop := func(keys uint16, seed int64, zipf bool) bool {
+		n := int64(keys)%10000 + 1
+		dist := Uniform
+		if zipf {
+			dist = Zipfian
+		}
+		g := NewGenerator(Config{Keys: n, ReadFraction: 0.5, Dist: dist, Theta: 0.99, Seed: seed})
+		for i := 0; i < 200; i++ {
+			if int64(keyU64(g.Next())) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keyU64(op Op) uint64 { return binary.LittleEndian.Uint64(op.Key[:]) }
