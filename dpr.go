@@ -295,8 +295,23 @@ func (s *Session) Add(key []byte, delta uint64) error {
 // FetchAdd atomically adds delta to the uint64 counter at key and returns
 // the new value (synchronous: flushes and waits for the RMW to complete).
 func (s *Session) FetchAdd(key []byte, delta uint64) (uint64, error) {
-	ch := make(chan wire.OpResult, 1)
-	if err := s.client.RMW(key, delta, func(r wire.OpResult) { ch <- r }); err != nil {
+	type res struct {
+		status byte
+		n      uint64
+	}
+	ch := make(chan res, 1)
+	if err := s.client.RMW(key, delta, func(r wire.OpResult) {
+		// Parse inside the callback: r.Value is only valid for its duration.
+		out := res{status: r.Status}
+		if len(r.Value) >= 8 {
+			for i := 0; i < 8; i++ {
+				out.n |= uint64(r.Value[i]) << (8 * i)
+			}
+		} else if out.status == wire.StatusOK {
+			out.status = wire.StatusError
+		}
+		ch <- out
+	}); err != nil {
 		return 0, err
 	}
 	if err := s.client.Flush(); err != nil {
@@ -304,17 +319,13 @@ func (s *Session) FetchAdd(key []byte, delta uint64) (uint64, error) {
 	}
 	select {
 	case r := <-ch:
-		if r.Status != wire.StatusOK || len(r.Value) < 8 {
+		if r.status != wire.StatusOK {
 			if err := s.client.Err(); err != nil {
 				return 0, err
 			}
 			return 0, errors.New("dpr: fetch-add failed")
 		}
-		var n uint64
-		for i := 0; i < 8; i++ {
-			n |= uint64(r.Value[i]) << (8 * i)
-		}
-		return n, nil
+		return r.n, nil
 	case <-time.After(30 * time.Second):
 		return 0, errors.New("dpr: fetch-add timed out")
 	}
@@ -328,7 +339,12 @@ func (s *Session) Get(key []byte) (value []byte, found bool, err error) {
 	}
 	ch := make(chan res, 1)
 	if err := s.client.Read(key, func(r wire.OpResult) {
-		ch <- res{status: r.Status, value: r.Value}
+		// Copy inside the callback: r.Value is only valid for its duration.
+		var v []byte
+		if r.Value != nil {
+			v = append([]byte(nil), r.Value...)
+		}
+		ch <- res{status: r.Status, value: v}
 	}); err != nil {
 		return nil, false, err
 	}

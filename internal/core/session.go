@@ -27,9 +27,14 @@ type SessionTracker struct {
 
 	nextSeq uint64 // next operation sequence number (first op gets 1)
 
-	// tokens maps seq -> capturing token for completed, not-yet-committed
-	// operations. Committed entries are pruned.
-	tokens map[uint64]Token
+	// runs holds the capturing tokens of completed, not-yet-committed
+	// operations as sorted, non-overlapping sequence ranges. Operations
+	// complete in near-sequence order and a checkpoint interval's worth of
+	// batches share one (worker, version) token, so tens of thousands of
+	// uncommitted operations collapse into a handful of runs — this is what
+	// keeps AdvanceCommitted off the per-batch critical path. Committed
+	// entries are pruned.
+	runs []tokenRun
 	// pending holds started, not yet completed operation seqs.
 	pending map[uint64]bool
 
@@ -42,6 +47,13 @@ type SessionTracker struct {
 	latestTok Token
 }
 
+// tokenRun records that operations start..end (inclusive) were all captured
+// by token tok.
+type tokenRun struct {
+	start, end uint64
+	tok        Token
+}
+
 // NewSessionTracker returns a tracker starting at world-line wl.
 // relaxed selects relaxed DPR semantics (the FASTER default).
 func NewSessionTracker(wl WorldLine, relaxed bool) *SessionTracker {
@@ -49,9 +61,51 @@ func NewSessionTracker(wl WorldLine, relaxed bool) *SessionTracker {
 		relaxed:   relaxed,
 		worldLine: wl,
 		nextSeq:   1,
-		tokens:    make(map[uint64]Token),
 		pending:   make(map[uint64]bool),
 	}
+}
+
+// insertRun records seq's capturing token, extending an adjacent run with
+// the same token when possible. The caller holds s.mu and has verified seq
+// was pending (so it cannot already be inside a run).
+func (s *SessionTracker) insertRun(seq uint64, t Token) {
+	n := len(s.runs)
+	// Fast path: completions arrive in sequence order.
+	if n == 0 || seq > s.runs[n-1].end {
+		if n > 0 && s.runs[n-1].end+1 == seq && s.runs[n-1].tok == t {
+			s.runs[n-1].end = seq
+			return
+		}
+		s.runs = append(s.runs, tokenRun{start: seq, end: seq, tok: t})
+		return
+	}
+	// Out of order (concurrent connections): find the first run ending at or
+	// after seq and stitch around it.
+	i := sort.Search(n, func(i int) bool { return s.runs[i].end >= seq })
+	if i > 0 && s.runs[i-1].end+1 == seq && s.runs[i-1].tok == t {
+		s.runs[i-1].end = seq
+		if i < n && s.runs[i].start == seq+1 && s.runs[i].tok == t {
+			s.runs[i-1].end = s.runs[i].end
+			s.runs = append(s.runs[:i], s.runs[i+1:]...)
+		}
+		return
+	}
+	if i < n && s.runs[i].start == seq+1 && s.runs[i].tok == t {
+		s.runs[i].start = seq
+		return
+	}
+	s.runs = append(s.runs, tokenRun{})
+	copy(s.runs[i+1:], s.runs[i:])
+	s.runs[i] = tokenRun{start: seq, end: seq, tok: t}
+}
+
+// lookupRun returns the capturing token of seq, if tracked. Caller holds s.mu.
+func (s *SessionTracker) lookupRun(seq uint64) (Token, bool) {
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].end >= seq })
+	if i < len(s.runs) && s.runs[i].start <= seq {
+		return s.runs[i].tok, true
+	}
+	return Token{}, false
 }
 
 // Relaxed reports whether the tracker uses relaxed DPR semantics.
@@ -100,11 +154,15 @@ func (s *SessionTracker) BeginBatch(n int) uint64 {
 func (s *SessionTracker) Complete(seq uint64, t Token) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.completeLocked(seq, t)
+}
+
+func (s *SessionTracker) completeLocked(seq uint64, t Token) bool {
 	if !s.pending[seq] {
 		return false
 	}
 	delete(s.pending, seq)
-	s.tokens[seq] = t
+	s.insertRun(seq, t)
 	if t.Version > s.vs {
 		s.vs = t.Version
 	}
@@ -112,6 +170,18 @@ func (s *SessionTracker) Complete(seq uint64, t Token) bool {
 		s.latestSeq, s.latestTok = seq, t
 	}
 	return true
+}
+
+// CompleteBatch records n consecutive completions — operations seqStart+i
+// captured on worker w in versions[i] — under a single lock acquisition.
+// It is the batched form of Complete for the per-batch hot path; versions is
+// not retained.
+func (s *SessionTracker) CompleteBatch(seqStart uint64, w WorkerID, versions []Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, v := range versions {
+		s.completeLocked(seqStart+uint64(i), Token{Worker: w, Version: v})
+	}
 }
 
 // ObserveVersion folds a worker-reported version into Vs
@@ -147,36 +217,42 @@ func (s *SessionTracker) AdvanceCommitted(cut Cut) (uint64, []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.committed
-	for next := p + 1; next < s.nextSeq; next++ {
-		if s.pending[next] {
-			if s.relaxed {
-				continue // skip; reported as exception below
+	if s.relaxed {
+		// The relaxed prefix point is the highest completed operation whose
+		// token is inside the cut (skipped operations become exceptions),
+		// extended over untracked seqs — already committed or resolved as
+		// rolled back by OnFailure — that sit directly after it. One pass
+		// over the runs replaces the per-sequence scan: a whole run is in or
+		// out of the cut.
+		var high uint64
+		for i := range s.runs {
+			if s.runs[i].end > p && cut.Includes(s.runs[i].tok) {
+				high = s.runs[i].end
 			}
-			break
 		}
-		t, ok := s.tokens[next]
-		if !ok {
-			// Neither pending nor tracked: already committed or rolled
-			// back; rolled-back ops are resolved by OnFailure before any
-			// commit advancement, so treat as committed.
-			if next == p+1 {
+		p = s.extendUntracked(p)
+		if high > p {
+			p = high
+		}
+		p = s.extendUntracked(p)
+	} else {
+		// Strict mode stops at the first pending or uncovered operation.
+		for next := p + 1; next < s.nextSeq; next++ {
+			if s.pending[next] {
+				break
+			}
+			t, ok := s.lookupRun(next)
+			if !ok {
+				// Neither pending nor tracked: already committed or rolled
+				// back; rolled-back ops are resolved by OnFailure before any
+				// commit advancement, so treat as committed.
 				p = next
-			}
-			continue
-		}
-		if !cut.Includes(t) {
-			if s.relaxed {
 				continue
 			}
-			break
-		}
-		if next == p+1 || s.relaxed {
-			if next > p {
-				// In relaxed mode the point may jump over skipped ops only
-				// if we keep them as exceptions; the point itself advances
-				// to the highest committed op.
-				p = next
+			if !cut.Includes(t) {
+				break
 			}
+			p = next
 		}
 	}
 	// Relaxed: recompute the exception list for the new point.
@@ -187,9 +263,15 @@ func (s *SessionTracker) AdvanceCommitted(cut Cut) (uint64, []uint64) {
 				exceptions = append(exceptions, seq)
 			}
 		}
-		for seq, t := range s.tokens {
-			if seq <= p && !cut.Includes(t) {
-				exceptions = append(exceptions, seq)
+		for i := range s.runs {
+			r := s.runs[i]
+			if r.start > p {
+				break
+			}
+			if !cut.Includes(r.tok) {
+				for seq := r.start; seq <= r.end && seq <= p; seq++ {
+					exceptions = append(exceptions, seq)
+				}
 			}
 		}
 		sort.Slice(exceptions, func(i, j int) bool { return exceptions[i] < exceptions[j] })
@@ -197,12 +279,38 @@ func (s *SessionTracker) AdvanceCommitted(cut Cut) (uint64, []uint64) {
 	s.committed = p
 	s.exceptions = exceptions
 	// Prune committed tokens (they can never be needed again).
-	for seq, t := range s.tokens {
-		if seq <= p && cut.Includes(t) {
-			delete(s.tokens, seq)
+	kept := s.runs[:0]
+	for _, r := range s.runs {
+		if cut.Includes(r.tok) {
+			if r.end <= p {
+				continue
+			}
+			if r.start <= p {
+				r.start = p + 1
+			}
 		}
+		kept = append(kept, r)
 	}
+	s.runs = kept
 	return p, exceptions
+}
+
+// extendUntracked advances x over consecutive seqs that are neither pending
+// nor tracked in a run — operations already committed or resolved as rolled
+// back. Such gaps appear only after failures, and commit on the first
+// advancement that reaches them, so the walk is short-lived. Caller holds
+// s.mu.
+func (s *SessionTracker) extendUntracked(x uint64) uint64 {
+	for x+1 < s.nextSeq {
+		if s.pending[x+1] {
+			return x
+		}
+		if _, ok := s.lookupRun(x + 1); ok {
+			return x
+		}
+		x++
+	}
+	return x
 }
 
 // Committed returns the last computed committed prefix point and exceptions.
@@ -247,9 +355,9 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 	if s.relaxed {
 		// Largest completed-and-recovered op; pending and lost ops inside
 		// become exceptions.
-		for seq := s.committed + 1; seq < s.nextSeq; seq++ {
-			if t, ok := s.tokens[seq]; ok && cut.Includes(t) {
-				surviving = seq
+		for i := range s.runs {
+			if s.runs[i].end > surviving && cut.Includes(s.runs[i].tok) {
+				surviving = s.runs[i].end
 			}
 		}
 		for seq := range s.pending {
@@ -257,15 +365,21 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 				exceptions = append(exceptions, seq)
 			}
 		}
-		for seq, t := range s.tokens {
-			if seq <= surviving && !cut.Includes(t) {
-				exceptions = append(exceptions, seq)
+		for i := range s.runs {
+			r := s.runs[i]
+			if r.start > surviving {
+				break
+			}
+			if !cut.Includes(r.tok) {
+				for seq := r.start; seq <= r.end && seq <= surviving; seq++ {
+					exceptions = append(exceptions, seq)
+				}
 			}
 		}
 		sort.Slice(exceptions, func(i, j int) bool { return exceptions[i] < exceptions[j] })
 	} else {
 		for next := surviving + 1; next < s.nextSeq; next++ {
-			t, ok := s.tokens[next]
+			t, ok := s.lookupRun(next)
 			if !ok || !cut.Includes(t) {
 				break
 			}
@@ -275,14 +389,18 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 
 	// Drop everything not surviving; those operations are gone from the new
 	// world-line and the application must reissue them if desired.
-	for seq := range s.pending {
-		delete(s.pending, seq)
-	}
-	for seq, t := range s.tokens {
-		if seq > surviving || !cut.Includes(t) {
-			delete(s.tokens, seq)
+	clear(s.pending)
+	kept := s.runs[:0]
+	for _, r := range s.runs {
+		if !cut.Includes(r.tok) || r.start > surviving {
+			continue
 		}
+		if r.end > surviving {
+			r.end = surviving
+		}
+		kept = append(kept, r)
 	}
+	s.runs = kept
 	s.nextSeq = surviving + 1
 	if s.committed > surviving {
 		s.committed = surviving
@@ -290,10 +408,9 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 	// Recompute the latest-completed marker over the surviving tokens
 	// (rare path: failures only).
 	s.latestSeq, s.latestTok = 0, Token{}
-	for seq, t := range s.tokens {
-		if seq >= s.latestSeq {
-			s.latestSeq, s.latestTok = seq, t
-		}
+	if len(s.runs) > 0 {
+		last := s.runs[len(s.runs)-1]
+		s.latestSeq, s.latestTok = last.end, last.tok
 	}
 	// Vs regresses to the recovered frontier: max cut position this session
 	// could have observed. Using the global max keeps monotonicity.

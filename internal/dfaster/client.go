@@ -17,6 +17,10 @@ import (
 
 // OpCallback receives an operation's result when its batch completes. A nil
 // callback discards the result (fire-and-forget writes).
+//
+// The result's Value is only valid for the duration of the callback: it
+// aliases a reusable receive buffer. Parse it or copy it inside the callback;
+// never retain the slice.
 type OpCallback func(wire.OpResult)
 
 // ClientConfig parameterizes a Client.
@@ -55,7 +59,14 @@ type Client struct {
 	connsMu sync.Mutex
 	conns   map[core.WorkerID]*workerConn
 
-	localSess *kv.Session
+	// Local-path scratch: the co-located fast path runs on the session's
+	// single enqueueing goroutine, so one reusable request, scratch, and
+	// callback slot make it allocation-free.
+	localSess     *kv.Session
+	localScratch  *BatchScratch
+	localReq      wire.BatchRequest
+	localVersions []core.Version
+	localCbs      [1]OpCallback
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -101,6 +112,7 @@ func NewClient(cfg ClientConfig, meta metadata.Service) (*Client, error) {
 	c.cond = sync.NewCond(&c.mu)
 	if cfg.LocalWorker != nil {
 		c.localSess = cfg.LocalWorker.Store().NewSession()
+		c.localScratch = NewBatchScratch()
 	}
 	return c, nil
 }
@@ -232,8 +244,9 @@ func (c *Client) executeLocal(op wire.Op, cb OpCallback) error {
 	// balances even though local ops never really occupy the window.
 	c.outstanding++
 	c.mu.Unlock()
-	req := &wire.BatchRequest{Header: h, Ops: []wire.Op{op}}
-	reply, errReply := c.cfg.LocalWorker.ExecuteLocal(c.localSess, req)
+	c.localReq.Header = h
+	c.localReq.Ops = append(c.localReq.Ops[:0], op)
+	reply, errReply := c.cfg.LocalWorker.ExecuteLocalScratch(c.localSess, &c.localReq, c.localScratch)
 	if errReply != nil {
 		if errReply.Code == wire.ErrCodeRejected {
 			if err := c.session.NotifyWorldLine(errReply.WorldLine); err != nil {
@@ -243,7 +256,12 @@ func (c *Client) executeLocal(op wire.Op, cb OpCallback) error {
 		}
 		return errReply
 	}
-	if err := c.completeBatch(c.cfg.LocalWorker.ID(), h, reply, []OpCallback{cb}); err != nil {
+	c.localVersions = growVersions(c.localVersions, len(reply.Results))
+	for i := range reply.Results {
+		c.localVersions[i] = reply.Results[i].Version
+	}
+	c.localCbs[0] = cb
+	if err := c.completeBatch(c.cfg.LocalWorker.ID(), h, reply, c.localVersions, c.localCbs[:]); err != nil {
 		return err
 	}
 	return nil
@@ -442,16 +460,20 @@ func (c *Client) transmit(w core.WorkerID, sb *sentBatch) error {
 		c.resolveError(sb.ops, sb.cbs)
 		return err
 	}
-	payload := wire.EncodeBatchRequest(&wire.BatchRequest{Header: sb.header, Ops: sb.ops})
+	// Encode into a pooled buffer; WriteFrame copies into the bufio.Writer,
+	// so the buffer can be returned as soon as the write call finishes.
+	out := wire.GetBuffer()
+	*out = wire.AppendBatchRequest(*out, &wire.BatchRequest{Header: sb.header, Ops: sb.ops})
 	wc.sendMu.Lock()
 	wc.inflightMu.Lock()
 	wc.inflight = append(wc.inflight, sb)
 	wc.inflightMu.Unlock()
-	err = wire.WriteFrame(wc.bw, wire.FrameBatchRequest, payload)
+	err = wire.WriteFrame(wc.bw, wire.FrameBatchRequest, *out)
 	if err == nil {
 		err = wc.bw.Flush()
 	}
 	wc.sendMu.Unlock()
+	wire.PutBuffer(out)
 	if err != nil {
 		wc.close()
 		return err
@@ -459,11 +481,17 @@ func (c *Client) transmit(w core.WorkerID, sb *sentBatch) error {
 	return nil
 }
 
-// readLoop resolves replies for one connection in FIFO order.
+// readLoop resolves replies for one connection in FIFO order. The loop is
+// allocation-free in steady state: frames land in the FrameReader's pooled
+// buffer, the reply shell and versions scratch are reused, and result values
+// alias the frame (callbacks fire before the next frame overwrites it).
 func (c *Client) readLoop(wc *workerConn) {
-	r := bufio.NewReaderSize(wc.conn, 1<<16)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(wc.conn, 1<<16))
+	defer fr.Close()
+	var reply wire.BatchReply
+	var versions []core.Version
 	for {
-		tag, payload, err := wire.ReadFrame(r)
+		tag, payload, err := fr.Read()
 		if err != nil {
 			break
 		}
@@ -478,12 +506,15 @@ func (c *Client) readLoop(wc *workerConn) {
 
 		switch tag {
 		case wire.FrameBatchReply:
-			reply, err := wire.DecodeBatchReply(payload)
-			if err != nil {
+			if err := wire.DecodeBatchReplyInto(&reply, payload); err != nil {
 				c.resolveError(sb.ops, sb.cbs)
 				continue
 			}
-			c.completeBatch(wc.id, sb.header, reply, sb.cbs)
+			versions = growVersions(versions, len(reply.Results))
+			for i := range reply.Results {
+				versions[i] = reply.Results[i].Version
+			}
+			c.completeBatch(wc.id, sb.header, &reply, versions, sb.cbs)
 		case wire.FrameError:
 			er, err := wire.DecodeError(payload)
 			if err != nil {
@@ -506,12 +537,10 @@ func (c *Client) readLoop(wc *workerConn) {
 	}
 }
 
-// completeBatch feeds a reply into the session and fires callbacks.
-func (c *Client) completeBatch(w core.WorkerID, h libdpr.BatchHeader, reply *wire.BatchReply, cbs []OpCallback) error {
-	versions := make([]core.Version, len(reply.Results))
-	for i, r := range reply.Results {
-		versions[i] = r.Version
-	}
+// completeBatch feeds a reply into the session and fires callbacks. The
+// caller supplies the versions slice (typically its own reusable scratch);
+// libdpr.Session.CompleteBatch does not retain it.
+func (c *Client) completeBatch(w core.WorkerID, h libdpr.BatchHeader, reply *wire.BatchReply, versions []core.Version, cbs []OpCallback) error {
 	err := c.session.CompleteBatch(w, h, libdpr.BatchReply{
 		WorldLine: reply.WorldLine,
 		Versions:  versions,

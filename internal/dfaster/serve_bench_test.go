@@ -1,0 +1,125 @@
+package dfaster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/kv"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+	"dpr/internal/storage"
+	"dpr/internal/wire"
+)
+
+// benchWorker builds a single networked worker owning every partition.
+func benchWorker(b *testing.B) (*Worker, *metadata.Store) {
+	b.Helper()
+	meta := metadata.NewStore(metadata.Config{Finder: metadata.FinderApproximate})
+	w, err := NewWorker(WorkerConfig{
+		ID:                 1,
+		ListenAddr:         "127.0.0.1:0",
+		CheckpointInterval: 25 * time.Millisecond,
+		Partitions:         testPartitions,
+		Device:             storage.NewNull(),
+		KV:                 kv.Config{BucketCount: 1 << 12},
+	}, meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := 0; p < testPartitions; p++ {
+		if err := w.ClaimPartitions(uint64(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(w.Stop)
+	return w, meta
+}
+
+// BenchmarkServeBatch drives the full networked pipeline — encode request,
+// frame I/O over loopback TCP, server decode, executeBatch, reply encode,
+// client decode — with batches of 64 mixed ops. One iteration is one batch;
+// allocs/op therefore counts allocations per 64 operations across both ends.
+func BenchmarkServeBatch(b *testing.B) {
+	const batchSize = 64
+	w, meta := benchWorker(b)
+	sess, err := libdpr.NewSession(meta, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
+	defer fr.Close()
+
+	// Pre-build the op set: half upserts, half reads over a small keyspace.
+	ops := make([]wire.Op, batchSize)
+	keys := make([][]byte, batchSize)
+	vals := make([][]byte, batchSize)
+	for i := range ops {
+		keys[i] = []byte(fmt.Sprintf("bench-key-%04d", i%97))
+		vals[i] = []byte(fmt.Sprintf("bench-value-%08d", i))
+		if i%2 == 0 {
+			ops[i] = wire.Op{Kind: wire.OpUpsert, Key: keys[i], Value: vals[i]}
+		} else {
+			ops[i] = wire.Op{Kind: wire.OpRead, Key: keys[i]}
+		}
+	}
+	req := &wire.BatchRequest{Ops: ops}
+	var reply wire.BatchReply
+	versions := make([]core.Version, batchSize)
+	var scratch []byte
+
+	runBatch := func() {
+		h, err := sess.NextBatch(batchSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req.Header = h
+		scratch = wire.AppendBatchRequest(scratch[:0], req)
+		if err := wire.WriteFrame(bw, wire.FrameBatchRequest, scratch); err != nil {
+			b.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		tag, payload, err := fr.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tag != wire.FrameBatchReply {
+			b.Fatalf("unexpected frame tag %d", tag)
+		}
+		if err := wire.DecodeBatchReplyInto(&reply, payload); err != nil {
+			b.Fatal(err)
+		}
+		for i, r := range reply.Results {
+			versions[i] = r.Version
+		}
+		if err := sess.CompleteBatch(w.ID(), h, libdpr.BatchReply{
+			WorldLine: reply.WorldLine, Versions: versions, Cut: reply.Cut,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	runBatch() // warm connection, session, and store
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		runBatch()
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*batchSize)/elapsed.Seconds(), "ops/s")
+}

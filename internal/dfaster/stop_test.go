@@ -1,0 +1,58 @@
+package dfaster
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"dpr/internal/libdpr"
+	"dpr/internal/wire"
+)
+
+// TestStopClosesIdleConnections is the regression test for the Stop hang:
+// serveConn goroutines block in FrameReader.Read on idle connections, so
+// Stop must close every live connection or wg.Wait() never returns.
+func TestStopClosesIdleConnections(t *testing.T) {
+	tc := newTestCluster(t, 1, 10*time.Millisecond)
+	w := tc.workers[0]
+
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One round trip guarantees the server accepted the connection and its
+	// serveConn goroutine is parked in a read before Stop is called.
+	bw := bufio.NewWriter(conn)
+	req := &wire.BatchRequest{
+		Header: libdpr.BatchHeader{SessionID: 7, NumOps: 1},
+		Ops:    []wire.Op{{Kind: wire.OpRead, Key: []byte("stop-test")}},
+	}
+	if err := wire.WriteFrame(bw, wire.FrameBatchRequest, wire.EncodeBatchRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	if _, _, err := wire.ReadFrame(br); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		w.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with an idle connection open")
+	}
+	// The idle connection must have been closed server-side.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("connection still open after Stop")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpr/internal/core"
@@ -65,13 +66,23 @@ type Worker struct {
 	dpr   *libdpr.Worker
 	meta  metadata.Service
 
-	ownedMu sync.RWMutex
-	owned   map[uint64]time.Time // partition -> lease expiry (zero = no expiry)
+	// owned is the authoritative ownership map, mutated only under ownedMu
+	// by the (rare) membership operations: claim, renounce, lease renewal.
+	// The batch hot path never takes the mutex; it reads ownedSnap, an
+	// immutable copy republished after every mutation.
+	ownedMu   sync.Mutex
+	owned     map[uint64]time.Time // partition -> lease expiry (zero = no expiry)
+	ownedSnap atomic.Pointer[map[uint64]time.Time]
 
 	ln       net.Listener
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// conns tracks accepted connections so Stop can unblock their read
+	// loops; without this, Stop hangs until clients hang up on their own.
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
 }
 
 // NewWorker builds and starts a worker (store, libDPR wrapper, listener).
@@ -94,8 +105,11 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		store: store,
 		meta:  meta,
 		owned: make(map[uint64]time.Time),
+		conns: make(map[net.Conn]struct{}),
 		stop:  make(chan struct{}),
 	}
+	empty := make(map[uint64]time.Time)
+	w.ownedSnap.Store(&empty)
 	addr := cfg.ListenAddr
 	if addr != "" {
 		ln, err := net.Listen("tcp", addr)
@@ -110,6 +124,9 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		ID:                 cfg.ID,
 		Addr:               addr,
 		CheckpointInterval: cfg.CheckpointInterval,
+		// Pre-encode the piggybacked cut once per refresh so replies splice
+		// bytes instead of re-serializing the map per batch.
+		EncodeCut: func(c core.Cut) []byte { return wire.AppendCut(nil, c) },
 	}, store, meta)
 	if err != nil {
 		if w.ln != nil {
@@ -164,6 +181,16 @@ func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
 	return w.dpr.Rollback(wl, cut)
 }
 
+// publishOwnedLocked republishes the ownership snapshot; ownedMu must be
+// held. The snapshot is immutable after publication.
+func (w *Worker) publishOwnedLocked() {
+	snap := make(map[uint64]time.Time, len(w.owned))
+	for p, e := range w.owned {
+		snap[p] = e
+	}
+	w.ownedSnap.Store(&snap)
+}
+
 // ClaimPartitions registers this worker as the owner of the given virtual
 // partitions, both locally and in the metadata store. With leasing enabled,
 // the local claim is valid for LeaseDuration and renewed by the lease loop.
@@ -178,6 +205,7 @@ func (w *Worker) ClaimPartitions(ps ...uint64) error {
 	for _, p := range ps {
 		w.owned[p] = expiry
 	}
+	w.publishOwnedLocked()
 	w.ownedMu.Unlock()
 	return nil
 }
@@ -197,49 +225,57 @@ func (w *Worker) leaseExpiry() time.Time {
 func (w *Worker) Renounce(p uint64) {
 	w.ownedMu.Lock()
 	delete(w.owned, p)
+	w.publishOwnedLocked()
 	w.ownedMu.Unlock()
 }
 
 // Owns reports whether the worker currently owns partition p (with a live
 // lease, if leasing is enabled).
 func (w *Worker) Owns(p uint64) bool {
-	w.ownedMu.RLock()
-	defer w.ownedMu.RUnlock()
-	return w.ownsLocked(p)
+	return ownsAt(*w.ownedSnap.Load(), p, time.Now())
 }
 
-func (w *Worker) ownsLocked(p uint64) bool {
-	expiry, ok := w.owned[p]
+func ownsAt(owned map[uint64]time.Time, p uint64, now time.Time) bool {
+	expiry, ok := owned[p]
 	if !ok {
 		return false
 	}
-	return expiry.IsZero() || time.Now().Before(expiry)
+	return expiry.IsZero() || now.Before(expiry)
 }
 
 // renewLeases revalidates every claim against the metadata store, extending
 // leases the store still confirms and dropping partitions that moved.
 func (w *Worker) renewLeases() {
-	w.ownedMu.RLock()
+	w.ownedMu.Lock()
 	ps := make([]uint64, 0, len(w.owned))
 	for p := range w.owned {
 		ps = append(ps, p)
 	}
-	w.ownedMu.RUnlock()
+	w.ownedMu.Unlock()
+	type verdict struct {
+		p    uint64
+		ours bool
+	}
+	verdicts := make([]verdict, 0, len(ps))
 	for _, p := range ps {
 		owner, err := w.meta.OwnerOf(p)
 		if err != nil {
 			continue // metadata hiccup: lease runs out on its own
 		}
-		w.ownedMu.Lock()
-		if owner == w.cfg.ID {
-			if _, still := w.owned[p]; still {
-				w.owned[p] = w.leaseExpiry()
+		verdicts = append(verdicts, verdict{p: p, ours: owner == w.cfg.ID})
+	}
+	w.ownedMu.Lock()
+	for _, v := range verdicts {
+		if v.ours {
+			if _, still := w.owned[v.p]; still {
+				w.owned[v.p] = w.leaseExpiry()
 			}
 		} else {
-			delete(w.owned, p)
+			delete(w.owned, v.p)
 		}
-		w.ownedMu.Unlock()
 	}
+	w.publishOwnedLocked()
+	w.ownedMu.Unlock()
 }
 
 // TransferPartition moves partition p from this worker to another worker:
@@ -268,17 +304,47 @@ func (w *Worker) TransferPartition(p uint64, to *Worker) error {
 	return to.ClaimPartitions(p)
 }
 
-// Stop shuts the worker down (listener, libDPR loop, store).
+// Stop shuts the worker down (listener, live connections, libDPR loop,
+// store). Closing tracked connections unblocks serveConn read loops; before
+// this, Stop hung until every client disconnected on its own.
 func (w *Worker) Stop() {
 	w.stopOnce.Do(func() {
 		close(w.stop)
 		if w.ln != nil {
 			w.ln.Close()
 		}
+		w.connsMu.Lock()
+		for c := range w.conns {
+			c.Close()
+		}
+		w.connsMu.Unlock()
 	})
 	w.wg.Wait()
 	w.dpr.Stop()
 	w.store.Close()
+}
+
+// trackConn registers an accepted connection for Stop to close. It refuses
+// the connection when the worker is already stopping: the check happens
+// under connsMu, the same lock Stop holds while draining, so a connection is
+// either in the map when Stop drains it or observes the closed stop channel
+// here.
+func (w *Worker) trackConn(conn net.Conn) bool {
+	w.connsMu.Lock()
+	defer w.connsMu.Unlock()
+	select {
+	case <-w.stop:
+		return false
+	default:
+	}
+	w.conns[conn] = struct{}{}
+	return true
+}
+
+func (w *Worker) untrackConn(conn net.Conn) {
+	w.connsMu.Lock()
+	delete(w.conns, conn)
+	w.connsMu.Unlock()
 }
 
 func (w *Worker) acceptLoop() {
@@ -293,22 +359,75 @@ func (w *Worker) acceptLoop() {
 				continue
 			}
 		}
+		if !w.trackConn(conn) {
+			conn.Close()
+			return
+		}
 		w.wg.Add(1)
 		go w.serveConn(conn)
 	}
 }
 
+// BatchScratch holds the per-session reusable state of the batch execution
+// pipeline: result and version slices, the pending-op index, the dependency
+// dedup set, the value arena that read results are copied into, and the
+// reply shell. Reusing it makes executeBatch allocation-free in steady
+// state. A BatchScratch is not safe for concurrent use, and the reply
+// returned from an execution aliases it: consume (encode or copy) the reply
+// before the next batch reuses the scratch.
+type BatchScratch struct {
+	results    []wire.OpResult
+	versions   []core.Version
+	pendingIdx map[uint64]int // serial -> op index
+	seen       map[core.Version]struct{}
+	arena      []byte
+	reply      wire.BatchReply
+}
+
+// NewBatchScratch returns an empty scratch; it grows to fit the largest
+// batch it serves and stays there.
+func NewBatchScratch() *BatchScratch {
+	return &BatchScratch{
+		pendingIdx: make(map[uint64]int),
+		seen:       make(map[core.Version]struct{}, 2),
+	}
+}
+
+func growResults(s []wire.OpResult, n int) []wire.OpResult {
+	if cap(s) < n {
+		return make([]wire.OpResult, n)
+	}
+	return s[:n]
+}
+
+func growVersions(s []core.Version, n int) []core.Version {
+	if cap(s) < n {
+		return make([]core.Version, n)
+	}
+	return s[:n]
+}
+
 // serveConn handles one client connection: batches are processed in order;
 // each connection gets its own FasterKV session (§5.2: "when a session
-// operates on a worker, the worker creates a corresponding FASTER session").
+// operates on a worker, the worker creates a corresponding FASTER session")
+// and its own scratch, so the serving loop is allocation-free in steady
+// state: frames land in a pooled connection buffer, requests alias that
+// buffer, results are built in the scratch, and replies are encoded into a
+// pooled output buffer.
 func (w *Worker) serveConn(conn net.Conn) {
 	defer w.wg.Done()
+	defer w.untrackConn(conn)
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	r := bufio.NewReaderSize(conn, 1<<16)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
+	defer fr.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	out := wire.GetBuffer()
+	defer wire.PutBuffer(out)
+	sc := NewBatchScratch()
+	var req wire.BatchRequest
 	sess := w.store.NewSession()
 	defer sess.Close()
 	for {
@@ -317,29 +436,30 @@ func (w *Worker) serveConn(conn net.Conn) {
 			return
 		default:
 		}
-		tag, payload, err := wire.ReadFrame(r)
+		tag, payload, err := fr.Read()
 		if err != nil {
 			return
 		}
 		if tag != wire.FrameBatchRequest {
 			return
 		}
-		req, err := wire.DecodeBatchRequest(payload)
-		if err != nil {
+		if err := wire.DecodeBatchRequestInto(&req, payload); err != nil {
 			return
 		}
-		reply, errReply := w.executeBatch(sess, req)
+		reply, errReply := w.executeBatch(sess, &req, sc)
 		if errReply != nil {
-			if wire.WriteFrame(bw, wire.FrameError, wire.EncodeError(errReply)) != nil {
+			*out = wire.AppendError((*out)[:0], errReply)
+			if wire.WriteFrame(bw, wire.FrameError, *out) != nil {
 				return
 			}
 		} else {
-			if wire.WriteFrame(bw, wire.FrameBatchReply, wire.EncodeBatchReply(reply)) != nil {
+			*out = wire.AppendBatchReply((*out)[:0], reply)
+			if wire.WriteFrame(bw, wire.FrameBatchReply, *out) != nil {
 				return
 			}
 		}
 		// Flush when no more batches are immediately available.
-		if r.Buffered() == 0 {
+		if fr.Buffered() == 0 {
 			if bw.Flush() != nil {
 				return
 			}
@@ -350,8 +470,9 @@ func (w *Worker) serveConn(conn net.Conn) {
 // executeBatch runs the full server-side pipeline for one batch: libDPR
 // admission, ownership validation, execution (with PENDING resolution),
 // dependency recording, and reply assembly. Shared by the network path and
-// the co-located path.
-func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
+// the co-located path. The returned reply (and the values inside it) aliases
+// sc; it is valid until the next executeBatch call with the same scratch.
+func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
 	if _, err := w.dpr.AdmitBatch(req.Header); err != nil {
 		return nil, &wire.ErrorReply{
 			Code:      wire.ErrCodeRejected,
@@ -359,23 +480,26 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.B
 			Message:   err.Error(),
 		}
 	}
-	// Ownership validation against the local view (§5.3).
-	w.ownedMu.RLock()
-	for _, op := range req.Ops {
-		if !w.ownsLocked(PartitionOf(op.Key, w.cfg.Partitions)) {
-			w.ownedMu.RUnlock()
+	// Ownership validation against the local view (§5.3). The snapshot is
+	// immutable, so no lock is taken; one clock read covers the whole batch.
+	owned := *w.ownedSnap.Load()
+	now := time.Now()
+	for i := range req.Ops {
+		if !ownsAt(owned, PartitionOf(req.Ops[i].Key, w.cfg.Partitions), now) {
 			return nil, &wire.ErrorReply{
 				Code:      wire.ErrCodeBadOwner,
 				WorldLine: w.dpr.WorldLine(),
-				Message:   fmt.Sprintf("key %q not owned by worker %d", op.Key, w.cfg.ID),
+				Message:   fmt.Sprintf("key %q not owned by worker %d", req.Ops[i].Key, w.cfg.ID),
 			}
 		}
 	}
-	w.ownedMu.RUnlock()
 
-	results := make([]wire.OpResult, len(req.Ops))
-	pendingIdx := make(map[uint64]int) // serial -> op index
-	for i, op := range req.Ops {
+	sc.results = growResults(sc.results, len(req.Ops))
+	sc.arena = sc.arena[:0]
+	clear(sc.pendingIdx)
+	results := sc.results
+	for i := range req.Ops {
+		op := &req.Ops[i]
 		switch op.Kind {
 		case wire.OpUpsert:
 			v, err := sess.Upsert(op.Key, op.Value)
@@ -392,14 +516,15 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.B
 				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v}
 			}
 		case wire.OpRead:
-			val, status, v := sess.Read(op.Key, uint64(i))
+			val, status, v := sess.ReadAppend(&sc.arena, op.Key, uint64(i))
 			switch status {
 			case kv.StatusOK:
 				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v, Value: val}
 			case kv.StatusNotFound:
 				results[i] = wire.OpResult{Status: wire.StatusNotFound, Version: v}
 			case kv.StatusPending:
-				pendingIdx[uint64(i)] = i
+				results[i] = wire.OpResult{}
+				sc.pendingIdx[uint64(i)] = i
 			default:
 				results[i] = wire.OpResult{Status: wire.StatusError, Version: v}
 			}
@@ -413,13 +538,15 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.B
 			status, v, newVal := sess.RMW(op.Key, delta, uint64(i))
 			switch status {
 			case kv.StatusOK:
-				val := make([]byte, 8)
-				for j := 0; j < 8; j++ {
-					val[j] = byte(newVal >> (8 * j))
-				}
-				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v, Value: val}
+				start := len(sc.arena)
+				sc.arena = append(sc.arena,
+					byte(newVal), byte(newVal>>8), byte(newVal>>16), byte(newVal>>24),
+					byte(newVal>>32), byte(newVal>>40), byte(newVal>>48), byte(newVal>>56))
+				results[i] = wire.OpResult{Status: wire.StatusOK, Version: v,
+					Value: sc.arena[start:len(sc.arena):len(sc.arena)]}
 			case kv.StatusPending:
-				pendingIdx[uint64(i)] = i
+				results[i] = wire.OpResult{}
+				sc.pendingIdx[uint64(i)] = i
 			default:
 				results[i] = wire.OpResult{Status: wire.StatusError, Version: v}
 			}
@@ -430,9 +557,9 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.B
 	// Resolve PENDING operations before replying: the batch is the unit of
 	// response on the wire. (Relaxed DPR still applies within the session:
 	// the client may have many batches outstanding.)
-	if len(pendingIdx) > 0 {
+	if len(sc.pendingIdx) > 0 {
 		for _, c := range sess.CompletePending(true) {
-			i, ok := pendingIdx[c.Serial]
+			i, ok := sc.pendingIdx[c.Serial]
 			if !ok {
 				continue
 			}
@@ -448,26 +575,40 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest) (*wire.B
 	}
 	// Record the batch's cross-shard dependency under every version its
 	// operations executed in (§3.1: dependencies are tracked per version).
-	versions := make([]core.Version, len(results))
-	seen := make(map[core.Version]bool, 2)
-	for i, res := range results {
-		versions[i] = res.Version
-		if res.Version != 0 && !seen[res.Version] {
-			seen[res.Version] = true
-			w.dpr.RecordDependency(res.Version, req.Header.Dep)
+	sc.versions = growVersions(sc.versions, len(results))
+	clear(sc.seen)
+	for i := range results {
+		v := results[i].Version
+		sc.versions[i] = v
+		if v != 0 {
+			if _, dup := sc.seen[v]; !dup {
+				sc.seen[v] = struct{}{}
+				w.dpr.RecordDependency(v, req.Header.Dep)
+			}
 		}
 	}
-	dprReply := w.dpr.Reply(versions)
-	return &wire.BatchReply{
+	dprReply := w.dpr.Reply(sc.versions)
+	sc.reply = wire.BatchReply{
 		WorldLine: dprReply.WorldLine,
 		Results:   results,
 		Cut:       dprReply.Cut,
-	}, nil
+		// The pre-encoded cut is spliced verbatim by AppendBatchReply,
+		// skipping per-batch map serialization.
+		EncodedCut: w.dpr.EncodedCut(),
+	}
+	return &sc.reply, nil
 }
 
 // ExecuteLocal is the co-located execution path (§5.2): application threads
 // on the same machine call straight into the worker, skipping the network.
-// The caller supplies its own FasterKV session.
+// The caller supplies its own FasterKV session. For an allocation-free
+// steady state, hold a BatchScratch and use ExecuteLocalScratch instead.
 func (w *Worker) ExecuteLocal(sess *kv.Session, req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
-	return w.executeBatch(sess, req)
+	return w.executeBatch(sess, req, NewBatchScratch())
+}
+
+// ExecuteLocalScratch is ExecuteLocal with a caller-held scratch. The reply
+// aliases sc and is valid until the next execution with the same scratch.
+func (w *Worker) ExecuteLocalScratch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
+	return w.executeBatch(sess, req, sc)
 }

@@ -211,6 +211,67 @@ type Worker struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// conns tracks accepted connections so Stop can unblock their read
+	// loops; without this, Stop hangs until clients hang up on their own.
+	tracker connTracker
+}
+
+// connTracker registers live connections so Stop can close them. The
+// stop-check and map insert happen under one lock, so a connection is either
+// in the map when closeAll drains it or observes the closed stop channel.
+type connTracker struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func (t *connTracker) track(conn net.Conn, stop <-chan struct{}) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-stop:
+		return false
+	default:
+	}
+	if t.conns == nil {
+		t.conns = make(map[net.Conn]struct{})
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *connTracker) untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
+}
+
+func (t *connTracker) closeAll() {
+	t.mu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+}
+
+// batchScratch is the per-connection reusable state of batch execution.
+type batchScratch struct {
+	results  []wire.OpResult
+	versions []core.Version
+	reply    wire.BatchReply
+}
+
+func (sc *batchScratch) grow(n int) {
+	if cap(sc.results) < n {
+		sc.results = make([]wire.OpResult, n)
+	} else {
+		sc.results = sc.results[:n]
+	}
+	if cap(sc.versions) < n {
+		sc.versions = make([]core.Version, n)
+	} else {
+		sc.versions = sc.versions[:n]
+	}
 }
 
 // NewWorker starts a D-Redis worker.
@@ -231,6 +292,9 @@ func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
 		ID:                 cfg.ID,
 		Addr:               addr,
 		CheckpointInterval: cfg.CheckpointInterval,
+		// Pre-encode the piggybacked cut once per refresh so replies splice
+		// bytes instead of re-serializing the map per batch.
+		EncodeCut: func(c core.Cut) []byte { return wire.AppendCut(nil, c) },
 	}, so, meta)
 	if err != nil {
 		if w.ln != nil {
@@ -266,13 +330,15 @@ func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
 // DPR exposes the libDPR worker.
 func (w *Worker) DPR() *libdpr.Worker { return w.dpr }
 
-// Stop shuts down the worker.
+// Stop shuts down the worker, closing live connections so serve loops
+// unblock instead of waiting for clients to hang up.
 func (w *Worker) Stop() {
 	w.stopOnce.Do(func() {
 		close(w.stop)
 		if w.ln != nil {
 			w.ln.Close()
 		}
+		w.tracker.closeAll()
 	})
 	w.wg.Wait()
 	w.dpr.Stop()
@@ -291,6 +357,10 @@ func (w *Worker) acceptLoop() {
 				continue
 			}
 		}
+		if !w.tracker.track(conn, w.stop) {
+			conn.Close()
+			return
+		}
 		w.wg.Add(1)
 		go w.serveConn(conn)
 	}
@@ -298,36 +368,43 @@ func (w *Worker) acceptLoop() {
 
 func (w *Worker) serveConn(conn net.Conn) {
 	defer w.wg.Done()
+	defer w.tracker.untrack(conn)
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	r := bufio.NewReaderSize(conn, 1<<16)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
+	defer fr.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	out := wire.GetBuffer()
+	defer wire.PutBuffer(out)
+	var sc batchScratch
+	var req wire.BatchRequest
 	for {
 		select {
 		case <-w.stop:
 			return
 		default:
 		}
-		tag, payload, err := wire.ReadFrame(r)
+		tag, payload, err := fr.Read()
 		if err != nil || tag != wire.FrameBatchRequest {
 			return
 		}
-		req, err := wire.DecodeBatchRequest(payload)
-		if err != nil {
+		if err := wire.DecodeBatchRequestInto(&req, payload); err != nil {
 			return
 		}
-		reply, errReply := w.ExecuteBatch(req)
+		reply, errReply := w.executeBatch(&req, &sc)
 		if errReply != nil {
-			err = wire.WriteFrame(bw, wire.FrameError, wire.EncodeError(errReply))
+			*out = wire.AppendError((*out)[:0], errReply)
+			err = wire.WriteFrame(bw, wire.FrameError, *out)
 		} else {
-			err = wire.WriteFrame(bw, wire.FrameBatchReply, wire.EncodeBatchReply(reply))
+			*out = wire.AppendBatchReply((*out)[:0], reply)
+			err = wire.WriteFrame(bw, wire.FrameBatchReply, *out)
 		}
 		if err != nil {
 			return
 		}
-		if r.Buffered() == 0 {
+		if fr.Buffered() == 0 {
 			if bw.Flush() != nil {
 				return
 			}
@@ -339,6 +416,12 @@ func (w *Worker) serveConn(conn net.Conn) {
 // shared-latch execution on the unmodified store, dependency recording, and
 // reply assembly.
 func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
+	return w.executeBatch(req, &batchScratch{})
+}
+
+// executeBatch is ExecuteBatch with a caller-held scratch; the reply aliases
+// sc and is valid until the next execution with the same scratch.
+func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.BatchReply, *wire.ErrorReply) {
 	if _, err := w.dpr.AdmitBatch(req.Header); err != nil {
 		return nil, &wire.ErrorReply{
 			Code:      wire.ErrCodeRejected,
@@ -350,7 +433,8 @@ func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.E
 	// batch executes in one version.
 	w.so.latch.RLock()
 	version := core.Version(w.so.current.Load())
-	results := make([]wire.OpResult, len(req.Ops))
+	sc.grow(len(req.Ops))
+	results := sc.results
 	for i, op := range req.Ops {
 		switch op.Kind {
 		case wire.OpUpsert:
@@ -392,16 +476,19 @@ func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.E
 	w.so.latch.RUnlock()
 
 	w.dpr.RecordDependency(version, req.Header.Dep)
-	versions := make([]core.Version, len(results))
 	for i := range results {
-		versions[i] = results[i].Version
+		sc.versions[i] = results[i].Version
 	}
-	dprReply := w.dpr.Reply(versions)
-	return &wire.BatchReply{
+	dprReply := w.dpr.Reply(sc.versions)
+	sc.reply = wire.BatchReply{
 		WorldLine: dprReply.WorldLine,
 		Results:   results,
 		Cut:       dprReply.Cut,
-	}, nil
+		// Spliced verbatim by AppendBatchReply, skipping per-batch map
+		// serialization.
+		EncodedCut: w.dpr.EncodedCut(),
+	}
+	return &sc.reply, nil
 }
 
 // ---- baselines for Figures 17/18 ----
@@ -414,6 +501,7 @@ type PlainServer struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	tracker  connTracker
 }
 
 // NewPlainServer starts a plain server on addr with persistence disabled.
@@ -442,9 +530,14 @@ func NewPlainServerAOF(addr string, device storage.Device, prefix string, aof re
 // Addr returns the listen address.
 func (p *PlainServer) Addr() string { return p.ln.Addr().String() }
 
-// Stop shuts the server down.
+// Stop shuts the server down, closing live connections so serve loops
+// unblock instead of waiting for clients to hang up.
 func (p *PlainServer) Stop() {
-	p.stopOnce.Do(func() { close(p.stop); p.ln.Close() })
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.ln.Close()
+		p.tracker.closeAll()
+	})
 	p.wg.Wait()
 	p.srv.Stop()
 }
@@ -461,6 +554,10 @@ func (p *PlainServer) acceptLoop() {
 				continue
 			}
 		}
+		if !p.tracker.track(conn, p.stop) {
+			conn.Close()
+			return
+		}
 		p.wg.Add(1)
 		go p.serveConn(conn)
 	}
@@ -468,22 +565,28 @@ func (p *PlainServer) acceptLoop() {
 
 func (p *PlainServer) serveConn(conn net.Conn) {
 	defer p.wg.Done()
+	defer p.tracker.untrack(conn)
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	r := bufio.NewReaderSize(conn, 1<<16)
+	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
+	defer fr.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	out := wire.GetBuffer()
+	defer wire.PutBuffer(out)
+	var sc batchScratch
+	var req wire.BatchRequest
 	for {
-		tag, payload, err := wire.ReadFrame(r)
+		tag, payload, err := fr.Read()
 		if err != nil || tag != wire.FrameBatchRequest {
 			return
 		}
-		req, err := wire.DecodeBatchRequest(payload)
-		if err != nil {
+		if err := wire.DecodeBatchRequestInto(&req, payload); err != nil {
 			return
 		}
-		results := make([]wire.OpResult, len(req.Ops))
+		sc.grow(len(req.Ops))
+		results := sc.results
 		for i, op := range req.Ops {
 			switch op.Kind {
 			case wire.OpUpsert:
@@ -510,11 +613,12 @@ func (p *PlainServer) serveConn(conn net.Conn) {
 				results[i] = wire.OpResult{Status: wire.StatusError}
 			}
 		}
-		reply := &wire.BatchReply{Results: results}
-		if wire.WriteFrame(bw, wire.FrameBatchReply, wire.EncodeBatchReply(reply)) != nil {
+		sc.reply = wire.BatchReply{Results: results}
+		*out = wire.AppendBatchReply((*out)[:0], &sc.reply)
+		if wire.WriteFrame(bw, wire.FrameBatchReply, *out) != nil {
 			return
 		}
-		if r.Buffered() == 0 {
+		if fr.Buffered() == 0 {
 			if bw.Flush() != nil {
 				return
 			}
@@ -530,6 +634,7 @@ type Proxy struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	tracker  connTracker
 }
 
 // NewProxy listens on addr and forwards every connection to backend.
@@ -547,9 +652,14 @@ func NewProxy(addr, backend string) (*Proxy, error) {
 // Addr returns the proxy's listen address.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
-// Stop shuts the proxy down.
+// Stop shuts the proxy down, closing live connections so pipe loops unblock
+// instead of waiting for both ends to hang up.
 func (p *Proxy) Stop() {
-	p.stopOnce.Do(func() { close(p.stop); p.ln.Close() })
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.ln.Close()
+		p.tracker.closeAll()
+	})
 	p.wg.Wait()
 }
 
@@ -570,6 +680,11 @@ func (p *Proxy) acceptLoop() {
 			conn.Close()
 			continue
 		}
+		if !p.tracker.track(conn, p.stop) || !p.tracker.track(back, p.stop) {
+			conn.Close()
+			back.Close()
+			return
+		}
 		if tc, ok := conn.(*net.TCPConn); ok {
 			tc.SetNoDelay(true)
 		}
@@ -584,6 +699,8 @@ func (p *Proxy) acceptLoop() {
 
 func (p *Proxy) pipe(dst, src net.Conn) {
 	defer p.wg.Done()
+	defer p.tracker.untrack(dst)
+	defer p.tracker.untrack(src)
 	defer dst.Close()
 	defer src.Close()
 	buf := make([]byte, 1<<16)

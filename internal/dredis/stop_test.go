@@ -1,0 +1,55 @@
+package dredis_test
+
+import (
+	"testing"
+	"time"
+
+	"dpr/internal/dredis"
+	"dpr/internal/storage"
+	"dpr/internal/wire"
+)
+
+// stopPromptly asserts that stop returns even though conn is idle and its
+// serveConn goroutine is parked in a blocking read — the regression guard
+// for the Stop hang across all three dredis server variants.
+func stopPromptly(t *testing.T, stop func(), conn *wireConn) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung with an idle connection open")
+	}
+	conn.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.r.ReadByte(); err == nil {
+		t.Fatal("connection still open after Stop")
+	}
+}
+
+func TestWorkerStopClosesIdleConnections(t *testing.T) {
+	c := newDRCluster(t, 1, 10*time.Millisecond)
+	w := c.workers[0]
+	conn := dialWire(t, w.Addr())
+	defer conn.close()
+	req := &wire.BatchRequest{Ops: []wire.Op{{Kind: wire.OpRead, Key: []byte("k")}}}
+	req.Header.NumOps = 1
+	conn.roundTrip(t, req) // ensure serveConn is live before stopping
+	stopPromptly(t, w.Stop, conn)
+}
+
+func TestPlainServerStopClosesIdleConnections(t *testing.T) {
+	plain, err := dredis.NewPlainServer("127.0.0.1:0", storage.NewNull(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialWire(t, plain.Addr())
+	defer conn.close()
+	req := &wire.BatchRequest{Ops: []wire.Op{{Kind: wire.OpRead, Key: []byte("k")}}}
+	req.Header.NumOps = 1
+	conn.roundTrip(t, req)
+	stopPromptly(t, plain.Stop, conn)
+}

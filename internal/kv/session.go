@@ -37,6 +37,10 @@ func (s Status) String() string {
 	}
 }
 
+// emptyValue is the canonical non-nil zero-length value, so empty reads
+// never collapse to nil (nil means "no value" at the wire boundary).
+var emptyValue = make([]byte, 0)
+
 // Completed is the deferred result of a PENDING operation.
 type Completed struct {
 	// Serial echoes the caller-supplied correlation id.
@@ -147,8 +151,21 @@ func (sess *Session) Delete(key []byte) (core.Version, error) {
 
 // Read returns the value for key. If the record has been evicted to the
 // device, Read returns StatusPending and the result is delivered
-// asynchronously to CompletePending with the given serial.
+// asynchronously to CompletePending with the given serial. The returned
+// value is a fresh heap copy owned by the caller.
 func (sess *Session) Read(key []byte, serial uint64) ([]byte, Status, core.Version) {
+	var buf []byte
+	return sess.ReadAppend(&buf, key, serial)
+}
+
+// ReadAppend is Read for the allocation-free hot path: when the key is found
+// in memory, the value is copied (under the bucket lock, so concurrent
+// in-place updates cannot tear it) into *arena via append, and the returned
+// slice aliases that arena. The caller owns the arena and typically reuses
+// it across a batch, trimming it to zero length between batches; values
+// remain valid until the caller reuses the arena, even if later appends grow
+// it. PENDING completions deliver caller-owned heap copies as before.
+func (sess *Session) ReadAppend(arena *[]byte, key []byte, serial uint64) ([]byte, Status, core.Version) {
 	sess.slot.Enter()
 	defer sess.slot.Exit()
 	s := sess.store
@@ -172,8 +189,17 @@ func (sess *Session) Read(key []byte, serial uint64) ([]byte, Status, core.Versi
 				mu.Unlock()
 				return nil, StatusNotFound, ver
 			}
-			out := append([]byte(nil), r.value()...)
+			start := len(*arena)
+			*arena = append(*arena, r.value()...)
 			mu.Unlock()
+			// Three-index slice: appends by the caller must not scribble
+			// over values returned earlier from the same arena.
+			out := (*arena)[start:len(*arena):len(*arena)]
+			if out == nil {
+				// Empty value read into an empty arena: stay non-nil so
+				// found-but-empty is distinguishable from not-found.
+				out = emptyValue
+			}
 			return out, StatusOK, ver
 		}
 		if string(r.key()) == string(key) {

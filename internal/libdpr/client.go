@@ -86,9 +86,7 @@ func (s *Session) CompleteBatch(worker core.WorkerID, h BatchHeader, r BatchRepl
 	if r.WorldLine > s.tracker.WorldLine() {
 		return s.handleFailure(r.WorldLine)
 	}
-	for i, v := range r.Versions {
-		s.tracker.Complete(h.SeqStart+uint64(i), core.Token{Worker: worker, Version: v})
-	}
+	s.tracker.CompleteBatch(h.SeqStart, worker, r.Versions)
 	if len(r.Cut) > 0 {
 		s.mu.Lock()
 		changed := !s.lastCut.Equal(r.Cut)

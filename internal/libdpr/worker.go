@@ -72,6 +72,12 @@ type WorkerConfig struct {
 	// AdmitTimeout bounds how long a batch from a future world-line waits
 	// for local recovery. Default 5s.
 	AdmitTimeout time.Duration
+	// EncodeCut, when set, is called once per state refresh to pre-serialize
+	// the piggybacked cut (the cut only changes every RefreshInterval, while
+	// replies go out per batch). The result is published via EncodedCut and
+	// spliced verbatim into reply frames by the serving layer. libdpr cannot
+	// import the wire format, so the encoder is injected.
+	EncodeCut func(core.Cut) []byte
 }
 
 // Worker is the server-side libDPR state for one StateObject shard.
@@ -91,6 +97,15 @@ type Worker struct {
 	// cutShared is the latest cut as an immutable snapshot, published
 	// atomically so the per-operation Reply path is allocation-free.
 	cutShared atomic.Pointer[core.Cut]
+	// cutEncoded is the cfg.EncodeCut serialization of cutShared, refreshed
+	// in lockstep; nil when no encoder is configured.
+	cutEncoded atomic.Pointer[[]byte]
+
+	// lastDep caches the most recent (version, dependency) recorded so the
+	// hot path skips the deps mutex when a session hammers one worker with
+	// the same dependency token — the common no-new-cross-shard-dependency
+	// case within a refresh interval.
+	lastDep atomic.Pointer[versionDep]
 
 	// rollbackMu serializes Rollback calls: the cluster manager's rollback
 	// message and the worker's metadata-poll self-heal can race for the
@@ -134,6 +149,10 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 	}
 	empty := make(core.Cut)
 	w.cutShared.Store(&empty)
+	if cfg.EncodeCut != nil {
+		enc := cfg.EncodeCut(empty)
+		w.cutEncoded.Store(&enc)
+	}
 	w.reported = so.PersistedVersion()
 	w.wg.Add(1)
 	go w.maintenanceLoop()
@@ -178,11 +197,23 @@ func (w *Worker) AdmitBatch(h BatchHeader) (core.WorldLine, error) {
 	return w.wl.Current(), nil
 }
 
+// versionDep is a (version, dependency) pair for the RecordDependency
+// duplicate cache.
+type versionDep struct {
+	v   core.Version
+	dep core.Token
+}
+
 // RecordDependency attributes the batch's dependency token to a version the
 // batch's operations executed in. Call once per distinct version in the
-// batch after execution; self-dependencies are ignored.
+// batch after execution; self-dependencies are ignored. Allocation-free and
+// mutex-free when (v, dep) matches the previous call — the steady-state
+// single-worker session pattern.
 func (w *Worker) RecordDependency(v core.Version, dep core.Token) {
 	if dep.Version == 0 || dep.Worker == w.cfg.ID {
+		return
+	}
+	if last := w.lastDep.Load(); last != nil && last.v == v && last.dep == dep {
 		return
 	}
 	w.depsMu.Lock()
@@ -193,13 +224,24 @@ func (w *Worker) RecordDependency(v core.Version, dep core.Token) {
 	}
 	set[dep] = struct{}{}
 	w.depsMu.Unlock()
+	w.lastDep.Store(&versionDep{v: v, dep: dep})
 }
 
 // Reply assembles the DPR reply header for a batch whose operations executed
 // in the given versions. The returned cut is a shared immutable snapshot:
-// callers must treat it as read-only.
+// callers must treat it as read-only. Reply performs no allocation.
 func (w *Worker) Reply(versions []core.Version) BatchReply {
 	return BatchReply{WorldLine: w.wl.Current(), Versions: versions, Cut: *w.cutShared.Load()}
+}
+
+// EncodedCut returns the pre-serialized piggybacked cut (refreshed once per
+// RefreshInterval), or nil when no WorkerConfig.EncodeCut is configured. The
+// returned bytes are immutable and shared; callers must not modify them.
+func (w *Worker) EncodedCut() []byte {
+	if enc := w.cutEncoded.Load(); enc != nil {
+		return *enc
+	}
+	return nil
 }
 
 // CurrentCut returns the worker's cached view of the DPR cut.
@@ -245,6 +287,7 @@ func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
 		}
 	}
 	w.depsMu.Unlock()
+	w.lastDep.Store(nil) // the cache may name a rolled-back version
 	w.cutMu.Lock()
 	if w.reported > cut.Get(w.cfg.ID) {
 		w.reported = cut.Get(w.cfg.ID)
@@ -337,6 +380,10 @@ func (w *Worker) refreshState() {
 	w.cutMu.Unlock()
 	snapshot := cut.Clone()
 	w.cutShared.Store(&snapshot)
+	if w.cfg.EncodeCut != nil {
+		enc := w.cfg.EncodeCut(snapshot)
+		w.cutEncoded.Store(&enc)
+	}
 	if wl > w.wl.Current() {
 		if rc, err := w.meta.RecoveredCut(wl); err == nil {
 			_ = w.Rollback(wl, rc)

@@ -180,7 +180,12 @@ func (c *Consumer) Poll(timeout time.Duration) ([]byte, uint64, error) {
 		}
 		ch := make(chan res, 1)
 		if err := c.client.Read(key, func(r wire.OpResult) {
-			ch <- res{status: r.Status, val: r.Value}
+			// Copy inside the callback: r.Value is only valid for its duration.
+			var v []byte
+			if r.Value != nil {
+				v = append([]byte(nil), r.Value...)
+			}
+			ch <- res{status: r.Status, val: v}
 		}); err != nil {
 			return nil, 0, err
 		}

@@ -3,6 +3,25 @@
 // headers (§6) and replies with per-operation versions plus a piggybacked
 // DPR cut. The encoding is hand-rolled little-endian — no reflection — so
 // the serialization cost stays negligible next to the operations themselves.
+//
+// # Memory discipline
+//
+// The hot path is allocation-free in steady state. The rules:
+//
+//   - FrameReader reads every frame into one reusable per-connection buffer
+//     (pool-backed). The payload returned by FrameReader.Read is valid only
+//     until the next Read; retaining it across frames is a bug.
+//   - DecodeBatchRequest / DecodeBatchRequestInto alias Op.Key and Op.Value
+//     into the frame payload — zero copy. The decoded batch must be fully
+//     consumed (executed or copied) before the payload buffer is reused.
+//     Store layers that retain key/value bytes must copy them (kv copies
+//     into its log; redisclone copies in its event loop).
+//   - DecodeBatchReply / DecodeBatchReplyInto alias OpResult.Value into the
+//     payload under the same contract.
+//   - AppendBatchRequest/AppendBatchReply/AppendError append into a
+//     caller-owned scratch buffer; callers reuse the buffer across frames.
+//     The copy into that buffer is the single copy-before-reply point at
+//     the wire boundary.
 package wire
 
 import (
@@ -11,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"dpr/internal/core"
 	"dpr/internal/libdpr"
@@ -62,7 +82,9 @@ type BatchRequest struct {
 	Ops    []Op
 }
 
-// OpResult is one operation's outcome in a reply.
+// OpResult is one operation's outcome in a reply. A nil Value means the
+// operation produced no value (write acks, misses); a non-nil empty Value is
+// a legitimate zero-length read result and is preserved on the wire.
 type OpResult struct {
 	Status  byte
 	Version core.Version
@@ -74,6 +96,12 @@ type BatchReply struct {
 	WorldLine core.WorldLine
 	Results   []OpResult
 	Cut       core.Cut
+	// EncodedCut, when non-nil, is a pre-encoded cut section (produced by
+	// AppendCut) spliced verbatim into the encoding in place of Cut. libDPR
+	// workers pre-encode the piggybacked cut once per refresh instead of
+	// re-serializing the map on every reply. Encode-side only; decoding
+	// always populates Cut.
+	EncodedCut []byte
 }
 
 // ErrorReply is a worker→client error frame.
@@ -89,14 +117,11 @@ func (e *ErrorReply) Error() string {
 
 // ---- encoding helpers ----
 
-type encoder struct{ buf []byte }
-
-func (e *encoder) u8(v byte)    { e.buf = append(e.buf, v) }
-func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
-func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
-func (e *encoder) bytes(b []byte) {
-	e.u32(uint32(len(b)))
-	e.buf = append(e.buf, b...)
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
 }
 
 type decoder struct {
@@ -132,6 +157,9 @@ func (d *decoder) u64() uint64 {
 	d.off += 8
 	return v
 }
+
+// bytes returns a slice aliasing the decode buffer (zero copy). Zero-length
+// fields decode to a non-nil empty slice.
 func (d *decoder) bytes() []byte {
 	n := int(d.u32())
 	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
@@ -148,23 +176,121 @@ func (d *decoder) fail() {
 	}
 }
 
-// ---- frame I/O ----
-
-// WriteFrame writes a tagged, length-prefixed frame.
-func WriteFrame(w *bufio.Writer, tag byte, payload []byte) error {
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = tag
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// finish flags frames with bytes beyond the decoded content (oversized or
+// corrupt frames must not be silently accepted).
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return err
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after frame content", len(d.buf)-d.off)
 	}
 	return nil
 }
 
-// ReadFrame reads one frame, returning its tag and payload.
+// ---- buffer pool ----
+
+// bufPool recycles frame/scratch buffers across connections. Buffers are
+// pooled as pointers-to-slices so Put does not allocate.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer fetches a zero-length scratch buffer from the pool.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer returns a scratch buffer to the pool. The caller must not use
+// the buffer (or any slice aliasing it) afterwards.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > MaxFrameSize {
+		return // don't pool pathological giants
+	}
+	bufPool.Put(b)
+}
+
+// ---- frame I/O ----
+
+// WriteFrame writes a tagged, length-prefixed frame. The header goes out
+// byte-by-byte rather than via a stack array: a slice of a local array
+// escapes into the underlying io.Writer interface and heap-allocates per
+// frame, while WriteByte stays on the bufio fast path. bufio errors are
+// sticky, so the final Write reports any earlier failure.
+func WriteFrame(w *bufio.Writer, tag byte, payload []byte) error {
+	n := uint32(len(payload) + 1)
+	w.WriteByte(byte(n))
+	w.WriteByte(byte(n >> 8))
+	w.WriteByte(byte(n >> 16))
+	w.WriteByte(byte(n >> 24))
+	w.WriteByte(tag)
+	_, err := w.Write(payload)
+	return err
+}
+
+// FrameReader reads frames into a reusable pool-backed buffer, so steady
+// state frame input performs no allocation. The payload returned by Read is
+// valid only until the next Read (or Close).
+type FrameReader struct {
+	r   *bufio.Reader
+	buf *[]byte
+}
+
+// NewFrameReader wraps r with a pooled frame buffer.
+func NewFrameReader(r *bufio.Reader) *FrameReader {
+	return &FrameReader{r: r, buf: GetBuffer()}
+}
+
+// Read reads one frame, returning its tag and payload. The payload aliases
+// the reader's internal buffer: it is overwritten by the next Read.
+func (fr *FrameReader) Read() (byte, []byte, error) {
+	// Peek the length prefix out of the bufio buffer instead of ReadFull
+	// into a local array: the array escapes into the io.Reader interface
+	// and heap-allocates per frame.
+	hdr, err := fr.r.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	fr.r.Discard(4)
+	if n == 0 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: bad frame size %d", n)
+	}
+	buf := *fr.buf
+	if cap(buf) < n {
+		buf = make([]byte, n)
+		*fr.buf = buf
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Buffered reports how many bytes of unread input sit in the underlying
+// reader — a "more frames immediately available" probe for flush batching.
+func (fr *FrameReader) Buffered() int { return fr.r.Buffered() }
+
+// Close returns the frame buffer to the pool. The FrameReader (and any
+// payload it returned) must not be used afterwards.
+func (fr *FrameReader) Close() {
+	if fr.buf != nil {
+		PutBuffer(fr.buf)
+		fr.buf = nil
+	}
+}
+
+// ReadFrame reads one frame into a freshly allocated payload. Transient
+// callers only; connection loops should hold a FrameReader instead.
 func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -183,30 +309,37 @@ func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
 
 // ---- batch request ----
 
-// EncodeBatchRequest serializes a batch request payload.
-func EncodeBatchRequest(b *BatchRequest) []byte {
-	e := &encoder{buf: make([]byte, 0, 64+len(b.Ops)*32)}
+// AppendBatchRequest appends the request encoding to dst and returns the
+// extended buffer. Steady-state callers reuse dst across batches.
+func AppendBatchRequest(dst []byte, b *BatchRequest) []byte {
 	h := b.Header
-	e.u64(h.SessionID)
-	e.u64(uint64(h.WorldLine))
-	e.u64(uint64(h.Vs))
-	e.u64(h.SeqStart)
-	e.u32(h.NumOps)
-	e.u32(uint32(h.Dep.Worker))
-	e.u64(uint64(h.Dep.Version))
-	e.u32(uint32(len(b.Ops)))
-	for _, op := range b.Ops {
-		e.u8(op.Kind)
-		e.bytes(op.Key)
-		e.bytes(op.Value)
+	dst = appendU64(dst, h.SessionID)
+	dst = appendU64(dst, uint64(h.WorldLine))
+	dst = appendU64(dst, uint64(h.Vs))
+	dst = appendU64(dst, h.SeqStart)
+	dst = appendU32(dst, h.NumOps)
+	dst = appendU32(dst, uint32(h.Dep.Worker))
+	dst = appendU64(dst, uint64(h.Dep.Version))
+	dst = appendU32(dst, uint32(len(b.Ops)))
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		dst = append(dst, op.Kind)
+		dst = appendBytes(dst, op.Key)
+		dst = appendBytes(dst, op.Value)
 	}
-	return e.buf
+	return dst
 }
 
-// DecodeBatchRequest parses a batch request payload.
-func DecodeBatchRequest(p []byte) (*BatchRequest, error) {
+// EncodeBatchRequest serializes a batch request payload into a fresh buffer.
+func EncodeBatchRequest(b *BatchRequest) []byte {
+	return AppendBatchRequest(make([]byte, 0, 64+len(b.Ops)*32), b)
+}
+
+// DecodeBatchRequestInto parses a batch request payload into b, reusing
+// b.Ops. Keys and values alias p (zero copy): the caller owns p and must not
+// reuse it until the decoded batch has been fully consumed.
+func DecodeBatchRequestInto(b *BatchRequest, p []byte) error {
 	d := &decoder{buf: p}
-	var b BatchRequest
 	b.Header.SessionID = d.u64()
 	b.Header.WorldLine = core.WorldLine(d.u64())
 	b.Header.Vs = core.Version(d.u64())
@@ -215,85 +348,164 @@ func DecodeBatchRequest(p []byte) (*BatchRequest, error) {
 	b.Header.Dep.Worker = core.WorkerID(d.u32())
 	b.Header.Dep.Version = core.Version(d.u64())
 	n := int(d.u32())
+	b.Ops = b.Ops[:0]
 	if d.err == nil && n > 0 {
-		if n > len(p) { // cheap sanity bound
-			return nil, errors.New("wire: op count exceeds frame")
+		if n > len(p) { // cheap sanity bound: each op needs ≥9 bytes
+			return errors.New("wire: op count exceeds frame")
 		}
-		b.Ops = make([]Op, n)
+		if cap(b.Ops) < n {
+			b.Ops = make([]Op, n)
+		}
+		b.Ops = b.Ops[:n]
 		for i := 0; i < n; i++ {
 			b.Ops[i].Kind = d.u8()
-			b.Ops[i].Key = append([]byte(nil), d.bytes()...)
-			b.Ops[i].Value = append([]byte(nil), d.bytes()...)
+			b.Ops[i].Key = d.bytes()
+			b.Ops[i].Value = d.bytes()
 		}
 	}
-	if d.err != nil {
-		return nil, d.err
+	if err := d.finish(); err != nil {
+		b.Ops = b.Ops[:0]
+		return err
+	}
+	if b.Header.NumOps != uint32(n) {
+		b.Ops = b.Ops[:0]
+		return fmt.Errorf("wire: header claims %d ops, frame carries %d", b.Header.NumOps, n)
+	}
+	return nil
+}
+
+// DecodeBatchRequest parses a batch request payload. Keys and values alias p
+// (zero copy); see DecodeBatchRequestInto for the ownership contract.
+func DecodeBatchRequest(p []byte) (*BatchRequest, error) {
+	var b BatchRequest
+	if err := DecodeBatchRequestInto(&b, p); err != nil {
+		return nil, err
 	}
 	return &b, nil
 }
 
 // ---- batch reply ----
 
-// EncodeBatchReply serializes a reply payload.
-func EncodeBatchReply(r *BatchReply) []byte {
-	e := &encoder{buf: make([]byte, 0, 32+len(r.Results)*24)}
-	e.u64(uint64(r.WorldLine))
-	e.u32(uint32(len(r.Results)))
-	for _, res := range r.Results {
-		e.u8(res.Status)
-		e.u64(uint64(res.Version))
-		e.bytes(res.Value)
+// AppendCut appends the cut section encoding (entry count + entries) to dst.
+// The result can be cached and spliced into replies via BatchReply.EncodedCut.
+func AppendCut(dst []byte, c core.Cut) []byte {
+	dst = appendU32(dst, uint32(len(c)))
+	for w, v := range c {
+		dst = appendU32(dst, uint32(w))
+		dst = appendU64(dst, uint64(v))
 	}
-	e.u32(uint32(len(r.Cut)))
-	for w, v := range r.Cut {
-		e.u32(uint32(w))
-		e.u64(uint64(v))
-	}
-	return e.buf
+	return dst
 }
 
-// DecodeBatchReply parses a reply payload.
-func DecodeBatchReply(p []byte) (*BatchReply, error) {
+// AppendBatchReply appends the reply encoding to dst and returns the
+// extended buffer. Values are copied out of r.Results here — this is the
+// copy-before-reply point for results that alias store memory or a batch
+// arena. If r.EncodedCut is non-nil it is spliced verbatim (and r.Cut is
+// ignored); otherwise the cut map is serialized.
+func AppendBatchReply(dst []byte, r *BatchReply) []byte {
+	dst = appendU64(dst, uint64(r.WorldLine))
+	dst = appendU32(dst, uint32(len(r.Results)))
+	for i := range r.Results {
+		res := &r.Results[i]
+		dst = append(dst, res.Status)
+		dst = appendU64(dst, uint64(res.Version))
+		if res.Value == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = appendBytes(dst, res.Value)
+		}
+	}
+	if r.EncodedCut != nil {
+		return append(dst, r.EncodedCut...)
+	}
+	return AppendCut(dst, r.Cut)
+}
+
+// EncodeBatchReply serializes a reply payload into a fresh buffer.
+func EncodeBatchReply(r *BatchReply) []byte {
+	return AppendBatchReply(make([]byte, 0, 32+len(r.Results)*24), r)
+}
+
+// DecodeBatchReplyInto parses a reply payload into r, reusing r.Results and
+// r.Cut. Values alias p (zero copy): the caller owns p and must not reuse it
+// until the decoded reply has been fully consumed. Absent values decode as
+// nil; present zero-length values decode as non-nil empty slices.
+func DecodeBatchReplyInto(r *BatchReply, p []byte) error {
 	d := &decoder{buf: p}
-	var r BatchReply
 	r.WorldLine = core.WorldLine(d.u64())
 	n := int(d.u32())
+	r.Results = r.Results[:0]
+	r.EncodedCut = nil
 	if d.err == nil && n > 0 {
 		if n > len(p) {
-			return nil, errors.New("wire: result count exceeds frame")
+			return errors.New("wire: result count exceeds frame")
 		}
-		r.Results = make([]OpResult, n)
+		if cap(r.Results) < n {
+			r.Results = make([]OpResult, n)
+		}
+		r.Results = r.Results[:n]
 		for i := 0; i < n; i++ {
 			r.Results[i].Status = d.u8()
 			r.Results[i].Version = core.Version(d.u64())
-			if v := d.bytes(); len(v) > 0 {
-				r.Results[i].Value = append([]byte(nil), v...)
+			if d.u8() != 0 {
+				r.Results[i].Value = d.bytes()
+			} else {
+				r.Results[i].Value = nil
 			}
 		}
 	}
 	cn := int(d.u32())
-	if d.err == nil && cn > 0 {
+	if d.err == nil && cn > len(p) {
+		// Validate before sizing the map: a corrupt count must not drive a
+		// gigantic pre-allocation.
+		r.Results = r.Results[:0]
+		return errors.New("wire: cut entry count exceeds frame")
+	}
+	if r.Cut == nil {
 		r.Cut = make(core.Cut, cn)
+	} else {
+		clear(r.Cut)
+	}
+	if d.err == nil && cn > 0 {
 		for i := 0; i < cn; i++ {
 			w := core.WorkerID(d.u32())
-			r.Cut[w] = core.Version(d.u64())
+			v := core.Version(d.u64())
+			if d.err == nil {
+				r.Cut[w] = v
+			}
 		}
 	}
-	if d.err != nil {
-		return nil, d.err
+	if err := d.finish(); err != nil {
+		r.Results = r.Results[:0]
+		return err
+	}
+	return nil
+}
+
+// DecodeBatchReply parses a reply payload. Values alias p (zero copy); see
+// DecodeBatchReplyInto for the ownership contract.
+func DecodeBatchReply(p []byte) (*BatchReply, error) {
+	var r BatchReply
+	if err := DecodeBatchReplyInto(&r, p); err != nil {
+		return nil, err
 	}
 	return &r, nil
 }
 
 // ---- error reply ----
 
+// AppendError appends the error encoding to dst.
+func AppendError(dst []byte, e *ErrorReply) []byte {
+	dst = append(dst, e.Code)
+	dst = appendU64(dst, uint64(e.WorldLine))
+	dst = appendU32(dst, uint32(len(e.Message)))
+	return append(dst, e.Message...)
+}
+
 // EncodeError serializes an error payload.
 func EncodeError(e *ErrorReply) []byte {
-	enc := &encoder{}
-	enc.u8(e.Code)
-	enc.u64(uint64(e.WorldLine))
-	enc.bytes([]byte(e.Message))
-	return enc.buf
+	return AppendError(make([]byte, 0, 16+len(e.Message)), e)
 }
 
 // DecodeError parses an error payload.
@@ -303,8 +515,8 @@ func DecodeError(p []byte) (*ErrorReply, error) {
 	e.Code = d.u8()
 	e.WorldLine = core.WorldLine(d.u64())
 	e.Message = string(d.bytes())
-	if d.err != nil {
-		return nil, d.err
+	if err := d.finish(); err != nil {
+		return nil, err
 	}
 	return &e, nil
 }
