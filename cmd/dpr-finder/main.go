@@ -87,7 +87,7 @@ func main() {
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
-		store.CompleteRecovery()
+		store.CompleteRecoveryFor(wl)
 		log.Printf("recovery into world-line %d complete; DPR progress resumed", wl)
 	}
 }

@@ -1,0 +1,323 @@
+// Package chaos is a deterministic, seed-driven fault-injection harness for
+// the real DPR serving stack. It stands up an actual cluster — D-FASTER and
+// D-Redis workers serving loopback TCP through fault-injecting proxies, a
+// metadata store with a configurable cut finder, and the cluster manager —
+// then replays a pseudo-random schedule of faults (worker kill/restart,
+// connection severs/delays/drops, storage faults, metadata latency spikes)
+// under concurrent client traffic, while per-session history checkers
+// validate the §4.3 prefix-recoverability invariants:
+//
+//  1. no committed operation is ever lost;
+//  2. per-worker cut positions are monotone within a world-line;
+//  3. no session observes state from a rolled-back world-line;
+//  4. post-rollback reads are consistent with the surviving prefix.
+//
+// Everything derives from one seed: the schedule, the workload, and the key
+// choices. A failing run prints the seed and the full fault schedule; re-run
+// with CHAOS_SEED=<seed> to replay it.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"dpr/internal/cluster"
+	"dpr/internal/core"
+	"dpr/internal/dfaster"
+	"dpr/internal/dredis"
+	"dpr/internal/kv"
+	"dpr/internal/metadata"
+	"dpr/internal/storage"
+	"dpr/internal/wire"
+)
+
+// Config sizes a chaos cluster.
+type Config struct {
+	// DFaster and DRedis are worker counts. D-FASTER workers are the
+	// kill/restart targets (they have a recovery path); D-Redis workers
+	// participate in rollbacks and take network faults but stay up.
+	DFaster, DRedis int
+	// Partitions is the cluster-wide virtual partition count.
+	Partitions int
+	// Checkpoint is the per-worker commit cadence (small, so cuts advance
+	// fast enough for short scenarios).
+	Checkpoint time.Duration
+	// Finder selects the cut-finding algorithm under test.
+	Finder metadata.FinderKind
+}
+
+// workerSlot is one cluster seat: a stable identity (worker ID, proxy,
+// partitions, device) whose serving process may be killed and restarted.
+type workerSlot struct {
+	id    core.WorkerID
+	parts []uint64
+	proxy *wire.FaultProxy
+
+	// D-FASTER only: the flaky device survives restarts (it is the durable
+	// medium); the worker process is replaced on each restart.
+	inner *storage.MemDevice
+	flaky *storage.FlakyDevice
+	df    *dfaster.Worker
+
+	dr *dredis.Worker
+}
+
+func (s *workerSlot) dfaster() bool { return s.inner != nil }
+
+// Harness owns a running chaos cluster.
+type Harness struct {
+	cfg   Config
+	store *metadata.Store
+	svc   *serviceHook
+	mgr   *cluster.Manager
+	slots []*workerSlot
+
+	// logf, when set (Execute wires it to the test log), narrates recovery
+	// rounds: recovered world-lines, cuts, and restore positions — the facts
+	// needed to make sense of a violation dump.
+	logf func(format string, args ...any)
+}
+
+func (h *Harness) logdbg(format string, args ...any) {
+	if h.logf != nil {
+		h.logf(format, args...)
+	}
+}
+
+const kvBuckets = 1 << 10
+
+// NewHarness builds and starts the cluster: workers listening on real TCP
+// ports, one fault proxy per worker, partitions assigned round-robin.
+func NewHarness(cfg Config) (*Harness, error) {
+	h := &Harness{
+		cfg:   cfg,
+		store: metadata.NewStore(metadata.Config{Finder: cfg.Finder}),
+	}
+	h.svc = newServiceHook(h.store)
+	h.mgr = cluster.NewManager(h.store)
+
+	total := cfg.DFaster + cfg.DRedis
+	for i := 0; i < total; i++ {
+		slot := &workerSlot{id: core.WorkerID(i + 1)}
+		for p := uint64(i); p < uint64(cfg.Partitions); p += uint64(total) {
+			slot.parts = append(slot.parts, p)
+		}
+		h.slots = append(h.slots, slot)
+	}
+
+	for _, slot := range h.slots[:cfg.DFaster] {
+		slot.inner = storage.NewNull()
+		slot.flaky = storage.NewFlaky(slot.inner)
+		w, err := dfaster.NewWorker(dfaster.WorkerConfig{
+			ID:                 slot.id,
+			ListenAddr:         "127.0.0.1:0",
+			CheckpointInterval: cfg.Checkpoint,
+			Partitions:         cfg.Partitions,
+			Device:             slot.flaky,
+			KV:                 kv.Config{BucketCount: kvBuckets},
+		}, h.svc)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		slot.df = w
+		if err := w.ClaimPartitions(slot.parts...); err != nil {
+			h.Close()
+			return nil, err
+		}
+		if err := h.attachProxy(slot, w.Addr()); err != nil {
+			return nil, err
+		}
+		h.mgr.Attach(w)
+	}
+	for _, slot := range h.slots[cfg.DFaster:] {
+		w, err := dredis.NewWorker(dredis.WorkerConfig{
+			ID:                 slot.id,
+			ListenAddr:         "127.0.0.1:0",
+			CheckpointInterval: cfg.Checkpoint,
+			Device:             storage.NewNull(),
+		}, h.svc)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		slot.dr = w
+		// D-Redis has no ownership enforcement; partitions are assigned
+		// directly in the metadata store.
+		for _, p := range slot.parts {
+			if err := h.store.SetOwner(p, slot.id); err != nil {
+				h.Close()
+				return nil, err
+			}
+		}
+		if err := h.attachProxy(slot, w.Addr()); err != nil {
+			return nil, err
+		}
+		h.mgr.Attach(w)
+	}
+	return h, nil
+}
+
+func (h *Harness) attachProxy(slot *workerSlot, backend string) error {
+	proxy, err := wire.NewFaultProxy(backend)
+	if err != nil {
+		h.Close()
+		return err
+	}
+	slot.proxy = proxy
+	h.svc.setAddr(slot.id, proxy.Addr())
+	return nil
+}
+
+// Close tears the cluster down.
+func (h *Harness) Close() {
+	for _, slot := range h.slots {
+		if slot.proxy != nil {
+			slot.proxy.Close()
+		}
+		if slot.df != nil {
+			slot.df.Stop()
+		}
+		if slot.dr != nil {
+			slot.dr.Stop()
+		}
+	}
+}
+
+// Service returns the metadata service clients and workers use (with fault
+// hooks applied).
+func (h *Harness) Service() metadata.Service { return h.svc }
+
+// Store returns the raw metadata store (no fault hooks) for samplers.
+func (h *Harness) Store() *metadata.Store { return h.store }
+
+// Recover drives one cluster recovery round, retrying while worker rollbacks
+// fail transiently (e.g. colliding with an injected storage fault).
+func (h *Harness) Recover() (core.WorldLine, core.Cut, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		wl, cut, err := h.mgr.OnFailure()
+		if err == nil {
+			return wl, cut, nil
+		}
+		if time.Now().After(deadline) {
+			return wl, cut, fmt.Errorf("chaos: recovery never completed: %w", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// CrashRestart kills a D-FASTER worker process, runs the cluster recovery
+// round (survivors roll back to the frozen cut), and restarts the worker
+// from its durable checkpoint at the recovery cut — the full §4.1 failure
+// story over real components. The restart retries while the storage device
+// read-faults, modeling a recovery racing a sick disk.
+func (h *Harness) CrashRestart(slotIdx int) error {
+	slot := h.slots[slotIdx]
+	if !slot.dfaster() || slot.df == nil {
+		return fmt.Errorf("chaos: slot %d not a running dfaster worker", slotIdx)
+	}
+	w := slot.df
+	slot.df = nil
+
+	// Crash: the manager stops tracking the worker, in-flight client
+	// connections die, the process goes away. The proxy stays — it is the
+	// worker's stable address — but dials now hit a dead backend.
+	h.mgr.Detach(slot.id)
+	w.Stop()
+	slot.proxy.SeverAll()
+
+	wl, cut, err := h.Recover()
+	if err != nil {
+		return err
+	}
+
+	// Restart: rebuild the store at exactly the recovery cut position. DPR
+	// guarantees the cut position is at or below the worker's persisted
+	// version, so a checkpoint covering it exists on the device.
+	pos := cut.Get(slot.id)
+	h.logdbg("chaos: recovery wl=%d cut=%v; restoring worker %d at pos=%d (latest ckpt %d)",
+		wl, cut, slot.id, pos, kv.LatestCheckpoint(slot.inner, "hlog"))
+	kvcfg := kv.Config{BucketCount: kvBuckets}
+	var st *kv.Store
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		// The existence decision consults the raw device: an injected read
+		// fault must surface as a retried restore, never as silently
+		// starting empty and losing the durable prefix.
+		if kv.LatestCheckpoint(slot.inner, "hlog") == 0 {
+			st = kv.NewStore(slot.flaky, kvcfg)
+			break
+		}
+		st, err = kv.Recover(slot.flaky, kvcfg, pos)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: worker %d restore at %d never succeeded: %w", slot.id, pos, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	w2, err := dfaster.AdoptWorker(dfaster.WorkerConfig{
+		ID:                 slot.id,
+		ListenAddr:         "127.0.0.1:0",
+		CheckpointInterval: h.cfg.Checkpoint,
+		Partitions:         h.cfg.Partitions,
+		Device:             slot.flaky,
+		KV:                 kvcfg,
+	}, st, h.svc)
+	if err != nil {
+		return fmt.Errorf("chaos: worker %d restart: %w", slot.id, err)
+	}
+	if err := w2.ClaimPartitions(slot.parts...); err != nil {
+		return fmt.Errorf("chaos: worker %d reclaim: %w", slot.id, err)
+	}
+	slot.proxy.SetBackend(w2.Addr())
+	h.mgr.Attach(w2)
+	slot.df = w2
+	_ = h.store.AckWorldLine(slot.id, wl)
+	return nil
+}
+
+// clearFaults turns every injected fault off (schedule epilogue). Blackholes
+// end with a sever so no connection survives with desynchronized framing.
+func (h *Harness) clearFaults() {
+	h.svc.setLatency(0)
+	for _, slot := range h.slots {
+		slot.proxy.SetDelay(0)
+		slot.proxy.SetBlackhole(false)
+		slot.proxy.SeverAll()
+		if slot.flaky != nil {
+			slot.flaky.FailWrites(false)
+			slot.flaky.FailReads(false)
+		}
+	}
+}
+
+// InjectSkippedRollback deliberately breaks invariant 1: it runs a recovery
+// round in which every worker is commanded to roll back to a cut where the
+// victim's position has been deflated below the committed frontier — the
+// victim erases committed data, exactly the bug a broken cluster manager or
+// a worker that "recovered" from the wrong checkpoint would introduce. The
+// checker must flag it. Test-only by nature; exported so the self-test in
+// this package documents the checker's detection power.
+func (h *Harness) InjectSkippedRollback(victim int) (core.Cut, core.Cut, error) {
+	wl, cut := h.store.BeginRecovery()
+	bad := cut.Clone()
+	bad[h.slots[victim].id] = cut.Get(h.slots[victim].id) / 2
+	for _, slot := range h.slots {
+		var err error
+		switch {
+		case slot.df != nil:
+			err = slot.df.Rollback(wl, bad)
+		case slot.dr != nil:
+			err = slot.dr.Rollback(wl, bad)
+		}
+		if err != nil {
+			return cut, bad, err
+		}
+	}
+	h.store.CompleteRecovery()
+	return cut, bad, nil
+}

@@ -1,0 +1,427 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/metadata"
+)
+
+// This file is the invariant checker: a per-session history recorder that
+// shadows every operation a chaos client issues and validates the §4.3
+// guarantees against what the session actually observes.
+//
+// Fate model. Every write ends in exactly one of four states:
+//
+//   - committed:  inside an observed commit prefix (and not an exception).
+//     Must survive every failure — its value must remain readable-or-
+//     superseded forever.
+//   - surviving:  completed OK and retained across rollbacks so far, but not
+//     yet observed committed. May still be readable; may commit later.
+//   - rolled back: completed OK at a version the recovery round's cut
+//     provably excludes (version > the cut's maximum position, so the token
+//     is outside the cut no matter which worker executed it). Its value must
+//     NEVER be observed by a read issued in a later world-line epoch.
+//   - unknown:    the reply was lost (sever/blackhole/crash) or errored; the
+//     worker may or may not have executed it. Reads may or may not see it —
+//     the checker cannot constrain these, exactly the PENDING-operation
+//     ambiguity relaxed DPR resolves with commit exceptions (§5.4).
+//     Completed writes reclassified by a failure whose version is at or
+//     below the cut maximum also land here: the surviving prefix is bounded
+//     by the earliest unresolved op, so a later completed op can fall beyond
+//     the prefix (or into the exception list) while its own token sits
+//     inside the cut and survives server-side — observing it later is legal
+//     relaxed-DPR behaviour, not a leak.
+//
+// Read validation. Each read snapshots, at issue time, the per-key committed
+// floor (the newest committed write) and reliable frontier (the newest
+// completed-OK write not reclassified by a failure). On completion:
+//
+//   - a value must have been written by this session to this key;
+//   - a value from a write rolled back in an epoch before the read was
+//     issued is a world-line leak (invariant 3);
+//   - a value older than the committed floor at issue means committed data
+//     was lost or hidden (invariants 1 and 4);
+//   - within one epoch (no failure between issue and completion), a value
+//     older than the reliable frontier violates session FIFO — workers
+//     execute one session's ops on one key in order;
+//   - NotFound is legal only if no committed write to the key existed.
+//
+// Sequence numbers arrive from the client's OnSend hook; commit prefixes and
+// exceptions from Session.Committed(); failures from SurvivalErrors. Seqs
+// are reused across world-lines (the tracker truncates and reissues), so
+// dropped ops leave the live table, while exception seqs stay as resolved
+// tombstones — later prefixes cover them, but they must never be treated as
+// committed.
+
+type opKind uint8
+
+const (
+	opWrite opKind = iota
+	opRead
+)
+
+// writeRec is the per-key fate record of one write.
+type writeRec struct {
+	idx             int // issue order within the key
+	value           string
+	seq             uint64       // DPR sequence number (diagnostics)
+	version         core.Version // execution version from the reply (diagnostics)
+	completedOK     bool
+	committed       bool
+	rolledBack      bool
+	rolledBackEpoch int
+	unknown         bool
+}
+
+// opRec is one issued operation.
+type opRec struct {
+	kind opKind
+	key  string
+	seq  uint64
+	wr   *writeRec
+	// read snapshots (issue time)
+	floorIdx     int
+	reliableIdx  int
+	epochAtIssue int
+	// state
+	completedOK bool
+	committed   bool
+	// resolved: fate fixed by a failure round; late completions are stale
+	// replies from a rolled-back world-line and must be ignored, like the
+	// session tracker ignores them.
+	resolved bool
+}
+
+// keyHist is the full write history of one key.
+type keyHist struct {
+	writes   []*writeRec
+	byValue  map[string]*writeRec
+	floorIdx int // newest committed completed-OK write, -1 if none
+	reliable int // newest completed-OK write not reclassified, -1 if none
+}
+
+// sessionChecker records and validates one session's history.
+type sessionChecker struct {
+	sid int
+
+	mu            sync.Mutex
+	epoch         int
+	live          map[uint64]*opRec // seq -> op in the current seq space
+	keys          map[string]*keyHist
+	markedUpTo    uint64
+	committedHigh uint64
+	valueSeq      int
+	violations    []string
+}
+
+func newSessionChecker(sid int) *sessionChecker {
+	return &sessionChecker{
+		sid:  sid,
+		live: make(map[uint64]*opRec),
+		keys: make(map[string]*keyHist),
+	}
+}
+
+const maxViolations = 32
+
+func (c *sessionChecker) violatef(format string, args ...any) {
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations,
+			fmt.Sprintf("session %d: ", c.sid)+fmt.Sprintf(format, args...))
+	}
+}
+
+// Violations returns the recorded invariant violations.
+func (c *sessionChecker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.violations...)
+}
+
+func (c *sessionChecker) hist(key string) *keyHist {
+	kh, ok := c.keys[key]
+	if !ok {
+		kh = &keyHist{byValue: make(map[string]*writeRec), floorIdx: -1, reliable: -1}
+		c.keys[key] = kh
+	}
+	return kh
+}
+
+// beginWrite records an upcoming write and returns its record; the caller
+// sends rec.wr.value as the payload.
+func (c *sessionChecker) beginWrite(key string) *opRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kh := c.hist(key)
+	wr := &writeRec{
+		idx:   len(kh.writes),
+		value: fmt.Sprintf("s%d.%d", c.sid, c.valueSeq),
+	}
+	c.valueSeq++
+	kh.writes = append(kh.writes, wr)
+	kh.byValue[wr.value] = wr
+	return &opRec{kind: opWrite, key: key, wr: wr}
+}
+
+// beginRead snapshots the key's committed floor and reliable frontier.
+func (c *sessionChecker) beginRead(key string) *opRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kh := c.hist(key)
+	return &opRec{
+		kind:         opRead,
+		key:          key,
+		floorIdx:     kh.floorIdx,
+		reliableIdx:  kh.reliable,
+		epochAtIssue: c.epoch,
+	}
+}
+
+// assignSeq is fed from the client's OnSend hook.
+func (c *sessionChecker) assignSeq(rec *opRec, seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec.seq = seq
+	if rec.wr != nil {
+		rec.wr.seq = seq
+	}
+	if prev, ok := c.live[seq]; ok && !prev.resolved {
+		c.violatef("seq %d assigned twice without an intervening rollback", seq)
+	}
+	c.live[seq] = rec
+}
+
+// completeWrite records a write completion.
+func (c *sessionChecker) completeWrite(rec *opRec, ok bool, version core.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.resolved || !ok {
+		return // stale reply after a rollback, or unknown fate
+	}
+	rec.completedOK = true
+	rec.wr.completedOK = true
+	rec.wr.version = version
+	kh := c.hist(rec.key)
+	if rec.wr.idx > kh.reliable {
+		kh.reliable = rec.wr.idx
+	}
+	// Commit marking may have observed the prefix before this reply's
+	// callback ran; the floor rises as soon as both facts are in.
+	if rec.committed {
+		rec.wr.committed = true
+		if rec.wr.idx > kh.floorIdx {
+			kh.floorIdx = rec.wr.idx
+		}
+	}
+}
+
+// completeRead validates a read completion. notFound and value describe the
+// result; erred results carry no information (unknown fate).
+func (c *sessionChecker) completeRead(rec *opRec, notFound bool, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.resolved {
+		return // stale reply from a rolled-back world-line
+	}
+	rec.completedOK = true
+	kh := c.hist(rec.key)
+	if notFound {
+		if rec.floorIdx >= 0 {
+			c.violatef("read of %q observed NotFound but write #%d (%q) was committed at issue time",
+				rec.key, rec.floorIdx, kh.writes[rec.floorIdx].value)
+		} else if rec.epochAtIssue == c.epoch && rec.reliableIdx >= 0 {
+			c.violatef("read of %q observed NotFound past completed write #%d in the same world-line epoch",
+				rec.key, rec.reliableIdx)
+		}
+		return
+	}
+	wr, ok := kh.byValue[value]
+	if !ok {
+		c.violatef("read of %q returned value %q this session never wrote", rec.key, value)
+		return
+	}
+	if wr.rolledBack && rec.epochAtIssue > wr.rolledBackEpoch {
+		c.violatef("read of %q observed %q (seq=%d v=%d), rolled back in epoch %d, from epoch %d (world-line leak)",
+			rec.key, value, wr.seq, wr.version, wr.rolledBackEpoch, rec.epochAtIssue)
+		return
+	}
+	if rec.floorIdx >= 0 && wr.idx < rec.floorIdx {
+		fl := kh.writes[rec.floorIdx]
+		c.violatef("read of %q observed %q (write #%d seq=%d v=%d), older than committed floor #%d (%q seq=%d v=%d): committed data lost",
+			rec.key, value, wr.idx, wr.seq, wr.version, rec.floorIdx, fl.value, fl.seq, fl.version)
+		return
+	}
+	if rec.epochAtIssue == c.epoch && rec.reliableIdx >= 0 && wr.idx < rec.reliableIdx {
+		rl := kh.writes[rec.reliableIdx]
+		c.violatef("read of %q observed %q (write #%d seq=%d v=%d), older than completed write #%d (seq=%d v=%d) in the same epoch (FIFO)",
+			rec.key, value, wr.idx, wr.seq, wr.version, rec.reliableIdx, rl.seq, rl.version)
+	}
+}
+
+// markCommitted folds an observed commit prefix (and its exception list)
+// into the history: commitment is permanent.
+func (c *sessionChecker) markCommitted(prefix uint64, exceptions []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prefix > c.committedHigh {
+		c.committedHigh = prefix
+	}
+	exc := make(map[uint64]bool, len(exceptions))
+	for _, e := range exceptions {
+		exc[e] = true
+	}
+	for seq := c.markedUpTo + 1; seq <= prefix; seq++ {
+		rec := c.live[seq]
+		if rec == nil || rec.resolved || exc[seq] {
+			continue
+		}
+		rec.committed = true
+		if rec.kind == opWrite && rec.completedOK {
+			rec.wr.committed = true
+			kh := c.hist(rec.key)
+			if rec.wr.idx > kh.floorIdx {
+				kh.floorIdx = rec.wr.idx
+			}
+		}
+	}
+	c.markedUpTo = prefix
+}
+
+// onFailure digests a SurvivalError: checks that no committed operation was
+// lost (invariant 1), reclassifies the fates of everything beyond the
+// surviving prefix, and opens the next world-line epoch.
+//
+// cutMax is the maximum per-worker position of the composed recovered cut
+// for the rounds this error covers. A completed write executed at a version
+// above cutMax is outside the cut regardless of which worker executed it —
+// provably erased, so a later read observing it is a world-line leak. At or
+// below cutMax the checker cannot tell (it does not know the executing
+// worker), and relaxed DPR genuinely allows beyond-prefix and exception ops
+// to survive, so those become unknown instead.
+func (c *sessionChecker) onFailure(surv *core.SurvivalError, cutMax core.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if surv.SurvivingPrefix < c.committedHigh {
+		c.violatef("rollback to world-line %d truncated the committed prefix: surviving %d < committed %d",
+			surv.WorldLine, surv.SurvivingPrefix, c.committedHigh)
+	}
+	exc := make(map[uint64]bool, len(surv.Exceptions))
+	for _, e := range surv.Exceptions {
+		exc[e] = true
+		if rec := c.live[e]; rec != nil && rec.committed && !rec.resolved {
+			c.violatef("rollback to world-line %d listed committed seq %d as an exception", surv.WorldLine, e)
+		}
+	}
+	for seq, rec := range c.live {
+		if rec.resolved {
+			continue
+		}
+		if seq <= surv.SurvivingPrefix && !exc[seq] {
+			continue // survives into the new world-line
+		}
+		rec.resolved = true
+		if rec.kind == opWrite {
+			if rec.completedOK && rec.wr.version > cutMax {
+				rec.wr.rolledBack = true
+				rec.wr.rolledBackEpoch = c.epoch
+			} else {
+				rec.wr.unknown = true
+			}
+			kh := c.hist(rec.key)
+			if kh.reliable == rec.wr.idx {
+				kh.reliable = -1
+				for i := rec.wr.idx - 1; i >= 0; i-- {
+					w := kh.writes[i]
+					if w.completedOK && !w.rolledBack && !w.unknown {
+						kh.reliable = i
+						break
+					}
+				}
+			}
+		}
+		if seq > surv.SurvivingPrefix {
+			// The seq space beyond the prefix is reissued on the new
+			// world-line; exceptions below it keep resolved tombstones.
+			delete(c.live, seq)
+		}
+	}
+	if c.markedUpTo > surv.SurvivingPrefix {
+		c.markedUpTo = surv.SurvivingPrefix
+	}
+	if c.committedHigh > surv.SurvivingPrefix {
+		// Already flagged above; clamp so one lost prefix doesn't re-trip
+		// every later round.
+		c.committedHigh = surv.SurvivingPrefix
+	}
+	c.epoch++
+}
+
+// cutMonitor samples the metadata store's cut and checks invariant 2: per-
+// worker positions never regress. (In this stack the cut is monotone even
+// across world-lines — the finder's durable table survives crashes — so the
+// check is global, which is stricter than the per-world-line requirement.)
+type cutMonitor struct {
+	store *metadata.Store
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu         sync.Mutex
+	last       core.Cut
+	violations []string
+}
+
+func newCutMonitor(store *metadata.Store) *cutMonitor {
+	m := &cutMonitor{
+		store: store,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		last:  core.Cut{},
+	}
+	go m.run()
+	return m
+}
+
+func (m *cutMonitor) run() {
+	defer close(m.done)
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.sample()
+		}
+	}
+}
+
+func (m *cutMonitor) sample() {
+	cut, _, wl, err := m.store.State()
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for w, v := range m.last {
+		if cut.Get(w) < v {
+			if len(m.violations) < maxViolations {
+				m.violations = append(m.violations, fmt.Sprintf(
+					"cut position regressed for worker %d: %d -> %d (world-line %d)",
+					w, v, cut.Get(w), wl))
+			}
+		}
+	}
+	m.last.Merge(cut)
+}
+
+// Stop halts sampling and returns any violations.
+func (m *cutMonitor) Stop() []string {
+	close(m.stop)
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.violations...)
+}

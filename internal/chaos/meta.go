@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/metadata"
+)
+
+// serviceHook wraps the real metadata store with two chaos controls:
+//
+//   - an adjustable extra latency applied to every call, modeling metadata
+//     access spikes (the paper prices every DPR design decision in metadata
+//     round-trips, §3.1, so the harness must survive them being slow);
+//   - a per-worker address override, so Members() hands clients the worker's
+//     FaultProxy address instead of its real listen address. Workers register
+//     their real addresses; all client traffic then flows through the fault
+//     taps, and a restarted worker keeps its (stable) proxy address.
+//
+// Both workers and client sessions talk to the hook; the cluster manager and
+// the invariant samplers talk to the raw store underneath.
+type serviceHook struct {
+	inner   metadata.Service
+	latency atomic.Int64 // extra ns per call
+
+	mu    sync.Mutex
+	addrs map[core.WorkerID]string
+}
+
+func newServiceHook(inner metadata.Service) *serviceHook {
+	return &serviceHook{inner: inner, addrs: make(map[core.WorkerID]string)}
+}
+
+func (h *serviceHook) setLatency(d time.Duration) { h.latency.Store(int64(d)) }
+
+func (h *serviceHook) setAddr(w core.WorkerID, addr string) {
+	h.mu.Lock()
+	h.addrs[w] = addr
+	h.mu.Unlock()
+}
+
+func (h *serviceHook) pause() {
+	if d := time.Duration(h.latency.Load()); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (h *serviceHook) RegisterWorker(w core.WorkerID, addr string) error {
+	h.pause()
+	return h.inner.RegisterWorker(w, addr)
+}
+
+func (h *serviceHook) DeregisterWorker(w core.WorkerID) error {
+	h.pause()
+	return h.inner.DeregisterWorker(w)
+}
+
+func (h *serviceHook) ReportVersion(w core.WorkerID, v core.Version, deps []core.Token) error {
+	h.pause()
+	return h.inner.ReportVersion(w, v, deps)
+}
+
+func (h *serviceHook) State() (core.Cut, core.Version, core.WorldLine, error) {
+	h.pause()
+	return h.inner.State()
+}
+
+func (h *serviceHook) Members() (map[core.WorkerID]string, error) {
+	h.pause()
+	members, err := h.inner.Members()
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	for w, addr := range h.addrs {
+		if _, ok := members[w]; ok {
+			members[w] = addr
+		}
+	}
+	h.mu.Unlock()
+	return members, nil
+}
+
+func (h *serviceHook) OwnerOf(partition uint64) (core.WorkerID, error) {
+	h.pause()
+	return h.inner.OwnerOf(partition)
+}
+
+func (h *serviceHook) SetOwner(partition uint64, w core.WorkerID) error {
+	h.pause()
+	return h.inner.SetOwner(partition, w)
+}
+
+func (h *serviceHook) RecoveredCut(wl core.WorldLine) (core.Cut, error) {
+	h.pause()
+	return h.inner.RecoveredCut(wl)
+}
+
+func (h *serviceHook) AckWorldLine(w core.WorkerID, wl core.WorldLine) error {
+	h.pause()
+	return h.inner.AckWorldLine(w, wl)
+}
+
+var _ metadata.Service = (*serviceHook)(nil)

@@ -98,7 +98,9 @@ func (m *Manager) OnFailure() (core.WorldLine, core.Cut, error) {
 			return wl, cut, fmt.Errorf("cluster: worker %d rollback: %w", targets[i].ID(), err)
 		}
 	}
-	m.meta.CompleteRecovery()
+	// Unfreeze only if no newer round began while this one's rollbacks ran:
+	// otherwise the nested round still needs the cut pinned.
+	m.meta.CompleteRecoveryFor(wl)
 	m.mu.Lock()
 	m.recoveries++
 	m.mu.Unlock()

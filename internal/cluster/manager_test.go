@@ -62,6 +62,104 @@ func TestOnFailureRollsBackAll(t *testing.T) {
 	}
 }
 
+// blockingTarget parks each Rollback call until its world-line is released,
+// so tests can hold a recovery round open while a second failure arrives and
+// then complete the rounds in a chosen order.
+type blockingTarget struct {
+	id      core.WorkerID
+	entered chan core.WorldLine
+
+	mu      sync.Mutex
+	release map[core.WorldLine]chan struct{}
+}
+
+func newBlockingTarget(id core.WorkerID) *blockingTarget {
+	return &blockingTarget{
+		id:      id,
+		entered: make(chan core.WorldLine, 8),
+		release: make(map[core.WorldLine]chan struct{}),
+	}
+}
+
+func (b *blockingTarget) gate(wl core.WorldLine) chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch, ok := b.release[wl]
+	if !ok {
+		ch = make(chan struct{}, 1)
+		b.release[wl] = ch
+	}
+	return ch
+}
+
+func (b *blockingTarget) ID() core.WorkerID { return b.id }
+func (b *blockingTarget) Rollback(wl core.WorldLine, cut core.Cut) error {
+	b.entered <- wl
+	<-b.gate(wl)
+	return nil
+}
+
+// TestSecondFailureDuringRollback: a crash while a recovery round's rollbacks
+// are still in flight starts a nested round on the next world-line. When the
+// OLDER round completes first, DPR progress must stay frozen — the newer
+// round's rollbacks are still running, and unfreezing would commit new
+// operations they are about to erase. Only the newest round's completion
+// resumes progress.
+func TestSecondFailureDuringRollback(t *testing.T) {
+	meta := metadata.NewStore(metadata.Config{Finder: metadata.FinderApproximate})
+	meta.RegisterWorker(1, "a")
+	meta.ReportVersion(1, 5, nil)
+	mgr := NewManager(meta)
+	bt := newBlockingTarget(1)
+	mgr.Attach(bt)
+
+	type result struct {
+		wl  core.WorldLine
+		err error
+	}
+	resA := make(chan result, 1)
+	go func() {
+		wl, _, err := mgr.OnFailure()
+		resA <- result{wl, err}
+	}()
+	wlA := <-bt.entered // round A's rollback is in flight
+
+	resB := make(chan result, 1)
+	go func() {
+		wl, _, err := mgr.OnFailure()
+		resB <- result{wl, err}
+	}()
+	wlB := <-bt.entered // round B's rollback is in flight on the next wl
+	if wlB <= wlA {
+		t.Fatalf("nested failure must advance the world-line: %d then %d", wlA, wlB)
+	}
+
+	// Finish round A first; round B is still rolling back.
+	bt.gate(wlA) <- struct{}{}
+	a := <-resA
+	if a.err != nil {
+		t.Fatalf("round A: %v", a.err)
+	}
+	if !meta.Frozen() {
+		t.Fatal("completing an overtaken recovery round must not resume DPR progress")
+	}
+
+	bt.gate(wlB) <- struct{}{}
+	b := <-resB
+	if b.err != nil {
+		t.Fatalf("round B: %v", b.err)
+	}
+	if a.wl >= b.wl {
+		t.Fatalf("rounds must get distinct, increasing world-lines: %d then %d", a.wl, b.wl)
+	}
+	if meta.Frozen() {
+		t.Fatal("completing the newest round must resume DPR progress")
+	}
+	if meta.WorldLine() != b.wl {
+		t.Fatalf("world-line = %d, want %d", meta.WorldLine(), b.wl)
+	}
+}
+
 func TestOnFailureDetachedTargetSkipped(t *testing.T) {
 	meta := metadata.NewStore(metadata.Config{})
 	mgr := NewManager(meta)

@@ -49,7 +49,7 @@ func BenchmarkSessionTrackerOp(b *testing.B) {
 		seq := s.Begin()
 		s.Complete(seq, Token{Worker: 1, Version: Version(i/1000 + 1)})
 		if i%1000 == 999 {
-			s.AdvanceCommitted(Cut{1: Version(i/1000 + 1)})
+			s.AdvanceCommitted(0, Cut{1: Version(i/1000 + 1)})
 		}
 	}
 }

@@ -88,6 +88,21 @@ func (c Cut) Merge(other Cut) bool {
 	return advanced
 }
 
+// Lower reduces this cut to the per-worker minimum with the other cut,
+// composing the survival constraints of consecutive recoveries: an operation
+// survives a chain of rollbacks only if its token lies inside EVERY
+// recovery's cut, and version counters keep climbing, so a later cut can
+// numerically re-cover versions an earlier rollback already erased. A worker
+// absent from one cut is unconstrained by it (the worker did not exist at
+// that recovery) and keeps the other cut's position.
+func (c Cut) Lower(other Cut) {
+	for w, v := range other {
+		if cur, ok := c[w]; !ok || v < cur {
+			c[w] = v
+		}
+	}
+}
+
 // Equal reports whether the two cuts include exactly the same tokens.
 func (c Cut) Equal(other Cut) bool {
 	for w, v := range c {

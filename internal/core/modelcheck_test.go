@@ -53,8 +53,10 @@ type mcState struct {
 	// session: op log (worker, version per op), Vs clock.
 	ops []Token
 	vs  Version
-	// finder
-	finder *ExactFinder
+	// finder; newFinder rebuilds an empty instance of the same kind at
+	// branch points (the model is parametric over all three algorithms).
+	finder    Finder
+	newFinder func() Finder
 	// budget
 	opsLeft, commitsLeft, crashesLeft int
 	// lastCut for monotonicity checking
@@ -66,6 +68,7 @@ func (st *mcState) clone() *mcState {
 		current:     st.current,
 		durable:     st.durable,
 		vs:          st.vs,
+		newFinder:   st.newFinder,
 		opsLeft:     st.opsLeft,
 		commitsLeft: st.commitsLeft,
 		crashesLeft: st.crashesLeft,
@@ -81,7 +84,7 @@ func (st *mcState) clone() *mcState {
 	}
 	// Rebuild the finder from the dependency history up to durable points:
 	// simpler and safer than deep-copying its internals.
-	n.finder = NewExactFinder()
+	n.finder = n.newFinder()
 	n.finder.AddWorker(1)
 	n.finder.AddWorker(2)
 	for w := 0; w < 2; w++ {
@@ -93,19 +96,33 @@ func (st *mcState) clone() *mcState {
 	return n
 }
 
-func newMCState(ops, commits, crashes int) *mcState {
+func newMCState(newFinder func() Finder, ops, commits, crashes int) *mcState {
 	st := &mcState{
 		current:     [2]Version{1, 1},
 		deps:        make(map[Token][]Token),
+		newFinder:   newFinder,
 		opsLeft:     ops,
 		commitsLeft: commits,
 		crashesLeft: crashes,
 		lastCut:     Cut{},
 	}
-	st.finder = NewExactFinder()
+	st.finder = newFinder()
 	st.finder.AddWorker(1)
 	st.finder.AddWorker(2)
 	return st
+}
+
+// mcFinders enumerates the finder kinds the model is checked against. The
+// invariants are algorithm-independent: the approximate finder's cut (all
+// tokens at or below the global Vmin) is a lower bound on the exact cut, and
+// the hybrid merges the two, so all three must satisfy §4.3 at every state.
+var mcFinders = []struct {
+	name string
+	make func() Finder
+}{
+	{"exact", func() Finder { return NewExactFinder() }},
+	{"approximate", func() Finder { return NewApproximateFinder() }},
+	{"hybrid", func() Finder { return NewHybridFinder() }},
 }
 
 // enabled reports whether an action is currently possible.
@@ -275,18 +292,24 @@ func explore(t *testing.T, st *mcState, depth int, trace []mcAction, visited map
 
 // TestModelCheckDPRInvariants exhaustively explores every interleaving of a
 // bounded DPR execution (4 ops, 3 commit boundaries, 1 crash) and asserts
-// the three §4.3 invariants at every state.
+// the three §4.3 invariants at every state, once per finder algorithm.
 func TestModelCheckDPRInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("model checking is exponential; skipped with -short")
 	}
-	states := 0
-	st := newMCState(4, 3, 1)
-	explore(t, st, 11, nil, map[string]bool{}, &states)
-	if states < 100000 {
-		t.Fatalf("state space suspiciously small: %d states", states)
+	for _, f := range mcFinders {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			states := 0
+			st := newMCState(f.make, 4, 3, 1)
+			explore(t, st, 11, nil, map[string]bool{}, &states)
+			if states < 100000 {
+				t.Fatalf("state space suspiciously small: %d states", states)
+			}
+			t.Logf("explored %d states without invariant violations", states)
+		})
 	}
-	t.Logf("explored %d states without invariant violations", states)
 }
 
 // TestModelCheckNoCrash explores a deeper crash-free space (progress check:
@@ -295,6 +318,16 @@ func TestModelCheckNoCrash(t *testing.T) {
 	if testing.Short() {
 		t.Skip("model checking is exponential; skipped with -short")
 	}
+	for _, f := range mcFinders {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			t.Parallel()
+			testModelCheckNoCrash(t, f.make)
+		})
+	}
+}
+
+func testModelCheckNoCrash(t *testing.T, newFinder func() Finder) {
 	// Drive to completion along every interleaving, then drain remaining
 	// checkpoints deterministically and check full commitment.
 	var drive func(st *mcState, depth int)
@@ -315,35 +348,53 @@ func TestModelCheckNoCrash(t *testing.T) {
 			}
 		}
 		if !progressed {
-			// Drain: issue a final commit+durable on each worker so every
-			// op's version is checkpointed, then everything must commit.
+			// Drain: draw commit boundaries and drain durability on both
+			// workers until the cut covers every op. The exact finder
+			// converges in one round; the approximate cut is Vmin across
+			// workers, so a laggard must catch up one boundary per round
+			// (the real system jumps straight to Vmax, §3.4 fast-forward).
+			// Versions are bounded by the op/commit budget, so a bounded
+			// number of rounds must converge — anything else is a progress
+			// violation.
 			final := st.clone()
-			for _, a := range []mcAction{mcCommitA, mcCommitB} {
-				final.commitsLeft = 1
-				if err := final.apply(a); err != nil {
-					t.Fatal(err)
+			covered := func() (Token, bool) {
+				cut := final.finder.CurrentCut()
+				for _, tok := range final.ops {
+					if !cut.Includes(tok) {
+						return tok, false
+					}
+				}
+				return Token{}, true
+			}
+			for round := 0; round < 16; round++ {
+				if _, ok := covered(); ok {
+					break
+				}
+				for _, a := range []mcAction{mcCommitA, mcCommitB} {
+					final.commitsLeft = 1
+					if err := final.apply(a); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for len(final.inflight[0]) > 0 {
+					if err := final.apply(mcDurableA); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for len(final.inflight[1]) > 0 {
+					if err := final.apply(mcDurableB); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
-			for len(final.inflight[0]) > 0 {
-				if err := final.apply(mcDurableA); err != nil {
-					t.Fatal(err)
-				}
-			}
-			for len(final.inflight[1]) > 0 {
-				if err := final.apply(mcDurableB); err != nil {
-					t.Fatal(err)
-				}
-			}
-			cut := final.finder.CurrentCut()
-			for _, tok := range final.ops {
-				if !cut.Includes(tok) {
-					t.Fatalf("progress violation: op %v never committed (cut %v)", tok, cut)
-				}
+			if tok, ok := covered(); !ok {
+				t.Fatalf("progress violation: op %v never committed (cut %v)",
+					tok, final.finder.CurrentCut())
 			}
 			checked++
 		}
 	}
-	drive(newMCState(3, 2, 0), 9)
+	drive(newMCState(newFinder, 3, 2, 0), 9)
 	if checked == 0 {
 		t.Fatal("no terminal states checked")
 	}

@@ -175,10 +175,16 @@ func (s *SessionTracker) completeLocked(seq uint64, t Token) bool {
 // CompleteBatch records n consecutive completions — operations seqStart+i
 // captured on worker w in versions[i] — under a single lock acquisition.
 // It is the batched form of Complete for the per-batch hot path; versions is
-// not retained.
-func (s *SessionTracker) CompleteBatch(seqStart uint64, w WorkerID, versions []Version) {
+// not retained. wl is the world-line the reply was produced on: a reply from
+// an older world-line describes executions a rollback has since erased, and
+// recording it here could resolve a reused sequence number with a dead token,
+// so it is dropped under the same lock that OnFailure reuses seqs under.
+func (s *SessionTracker) CompleteBatch(wl WorldLine, seqStart uint64, w WorkerID, versions []Version) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if wl != s.worldLine {
+		return
+	}
 	for i, v := range versions {
 		s.completeLocked(seqStart+uint64(i), Token{Worker: w, Version: v})
 	}
@@ -202,10 +208,17 @@ func (s *SessionTracker) LatestToken() (Token, bool) {
 	return s.latestTok, s.latestSeq != 0
 }
 
-// AdvanceCommitted folds a DPR-cut into the session, advancing the committed
-// prefix point. Returns the new prefix point and, under relaxed DPR, the
-// exception list of sequence numbers at or below the point that are not yet
-// committed (still pending, or captured in a version beyond the cut).
+// AdvanceCommitted folds a DPR-cut observed on world-line wl into the
+// session, advancing the committed prefix point. Returns the new prefix point
+// and, under relaxed DPR, the exception list of sequence numbers at or below
+// the point that are not yet committed (still pending, or captured in a
+// version beyond the cut).
+//
+// The cut is applied only if wl matches the session's current world-line,
+// checked under the same lock: version numbers restart across world-lines, so
+// a cut from world-line n applied after a concurrent OnFailure moved the
+// session to n+1 would commit erased operations whose tokens merely collide
+// numerically with the new world-line's cut.
 //
 // Strict mode: the prefix stops at the first operation that is pending or
 // whose token is outside the cut.
@@ -213,9 +226,12 @@ func (s *SessionTracker) LatestToken() (Token, bool) {
 // Relaxed mode: the prefix is the largest point such that every *completed*
 // operation at or below it has its token inside the cut; operations still
 // pending are skipped and reported as exceptions until they resolve.
-func (s *SessionTracker) AdvanceCommitted(cut Cut) (uint64, []uint64) {
+func (s *SessionTracker) AdvanceCommitted(wl WorldLine, cut Cut) (uint64, []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if wl != s.worldLine {
+		return s.committed, s.exceptions
+	}
 	p := s.committed
 	if s.relaxed {
 		// The relaxed prefix point is the highest completed operation whose

@@ -15,11 +15,11 @@ func TestSessionStrictCommitPrefix(t *testing.T) {
 	s.Complete(s1, tok(1, 1))
 	s.Complete(s2, tok(2, 1))
 	s.Complete(s3, tok(1, 2))
-	p, exc := s.AdvanceCommitted(Cut{1: 1})
+	p, exc := s.AdvanceCommitted(0, Cut{1: 1})
 	if p != 1 || len(exc) != 0 {
 		t.Fatalf("expected prefix 1, got %d (%v)", p, exc)
 	}
-	p, _ = s.AdvanceCommitted(Cut{1: 2, 2: 1})
+	p, _ = s.AdvanceCommitted(0, Cut{1: 2, 2: 1})
 	if p != 3 {
 		t.Fatalf("expected prefix 3, got %d", p)
 	}
@@ -33,12 +33,12 @@ func TestSessionStrictStopsAtPending(t *testing.T) {
 	s.Complete(s1, tok(1, 1))
 	// s2 is still pending.
 	s.Complete(s3, tok(1, 1))
-	p, _ := s.AdvanceCommitted(Cut{1: 5})
+	p, _ := s.AdvanceCommitted(0, Cut{1: 5})
 	if p != 1 {
 		t.Fatalf("strict prefix must stop at pending op, got %d", p)
 	}
 	s.Complete(s2, tok(1, 1))
-	p, _ = s.AdvanceCommitted(Cut{1: 5})
+	p, _ = s.AdvanceCommitted(0, Cut{1: 5})
 	if p != 3 {
 		t.Fatalf("prefix should advance after completion, got %d", p)
 	}
@@ -51,7 +51,7 @@ func TestSessionRelaxedSkipsPending(t *testing.T) {
 	s3 := s.Begin()
 	s.Complete(s1, tok(1, 1))
 	s.Complete(s3, tok(1, 1))
-	p, exc := s.AdvanceCommitted(Cut{1: 1})
+	p, exc := s.AdvanceCommitted(0, Cut{1: 1})
 	if p != 3 {
 		t.Fatalf("relaxed prefix should skip pending, got %d", p)
 	}
@@ -60,7 +60,7 @@ func TestSessionRelaxedSkipsPending(t *testing.T) {
 	}
 	// Once the pending op resolves inside the cut, the exception clears.
 	s.Complete(s2, tok(2, 1))
-	p, exc = s.AdvanceCommitted(Cut{1: 1, 2: 1})
+	p, exc = s.AdvanceCommitted(0, Cut{1: 1, 2: 1})
 	if p != 3 || len(exc) != 0 {
 		t.Fatalf("exception should clear, got prefix %d exc %v", p, exc)
 	}
@@ -218,7 +218,7 @@ func TestSessionPrefixMonotoneProperty(t *testing.T) {
 		}
 		var prev uint64
 		for cutV := Version(1); cutV <= 8; cutV++ {
-			p, _ := s.AdvanceCommitted(Cut{1: cutV})
+			p, _ := s.AdvanceCommitted(0, Cut{1: cutV})
 			if p < prev {
 				return false // prefix regressed
 			}

@@ -40,6 +40,12 @@ type ClientConfig struct {
 	LocalWorker *Worker
 	// RetryBadOwner bounds ownership-miss retries (default 8).
 	RetryBadOwner int
+	// OnSend, if set, is invoked on the enqueueing goroutine after sequence
+	// numbers are assigned to a batch and before it is transmitted (BadOwner
+	// retransmits reuse the original numbers and do not re-fire). History
+	// checkers (internal/chaos) use it to associate each operation with its
+	// DPR sequence number; production clients leave it nil.
+	OnSend func(seqStart uint64, n int)
 }
 
 // Client is one D-FASTER client session: it batches operations per owner
@@ -244,6 +250,9 @@ func (c *Client) executeLocal(op wire.Op, cb OpCallback) error {
 	// balances even though local ops never really occupy the window.
 	c.outstanding++
 	c.mu.Unlock()
+	if c.cfg.OnSend != nil {
+		c.cfg.OnSend(h.SeqStart, 1)
+	}
 	c.localReq.Header = h
 	c.localReq.Ops = append(c.localReq.Ops[:0], op)
 	reply, errReply := c.cfg.LocalWorker.ExecuteLocalScratch(c.localSess, &c.localReq, c.localScratch)
@@ -451,6 +460,9 @@ func (c *Client) sendBatch(w core.WorkerID, ops []wire.Op, cbs []OpCallback) err
 		c.lastSeq = end
 	}
 	c.mu.Unlock()
+	if c.cfg.OnSend != nil {
+		c.cfg.OnSend(h.SeqStart, len(ops))
+	}
 	return c.transmit(w, &sentBatch{header: h, ops: ops, cbs: cbs})
 }
 

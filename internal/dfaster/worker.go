@@ -473,13 +473,19 @@ func (w *Worker) serveConn(conn net.Conn) {
 // the co-located path. The returned reply (and the values inside it) aliases
 // sc; it is valid until the next executeBatch call with the same scratch.
 func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
-	if _, err := w.dpr.AdmitBatch(req.Header); err != nil {
+	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
+		code := wire.ErrCodeRejected
+		if errors.Is(err, libdpr.ErrStaleBatch) {
+			code = wire.ErrCodeStale
+		}
 		return nil, &wire.ErrorReply{
-			Code:      wire.ErrCodeRejected,
+			Code:      code,
 			WorldLine: w.dpr.WorldLine(),
 			Message:   err.Error(),
 		}
 	}
+	executed := false
+	defer func() { w.dpr.ReleaseBatch(req.Header, executed) }()
 	// Ownership validation against the local view (§5.3). The snapshot is
 	// immutable, so no lock is taken; one clock read covers the whole batch.
 	owned := *w.ownedSnap.Load()
@@ -493,6 +499,7 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 			}
 		}
 	}
+	executed = true
 
 	sc.results = growResults(sc.results, len(req.Ops))
 	sc.arena = sc.arena[:0]

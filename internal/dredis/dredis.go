@@ -15,6 +15,7 @@ package dredis
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -422,13 +423,18 @@ func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.E
 // executeBatch is ExecuteBatch with a caller-held scratch; the reply aliases
 // sc and is valid until the next execution with the same scratch.
 func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.BatchReply, *wire.ErrorReply) {
-	if _, err := w.dpr.AdmitBatch(req.Header); err != nil {
+	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
+		code := wire.ErrCodeRejected
+		if errors.Is(err, libdpr.ErrStaleBatch) {
+			code = wire.ErrCodeStale
+		}
 		return nil, &wire.ErrorReply{
-			Code:      wire.ErrCodeRejected,
+			Code:      code,
 			WorldLine: w.dpr.WorldLine(),
 			Message:   err.Error(),
 		}
 	}
+	defer w.dpr.ReleaseBatch(req.Header, true)
 	// Shared latch: commits (exclusive) cannot interleave, so the whole
 	// batch executes in one version.
 	w.so.latch.RLock()

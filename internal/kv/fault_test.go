@@ -3,6 +3,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -100,6 +101,109 @@ func TestPendingReadStorageFailure(t *testing.T) {
 		}
 	} else if status != StatusOK {
 		t.Fatalf("healed read status %v", status)
+	}
+}
+
+// TestRecoverUnderReadFaults: a restarting worker whose device refuses reads
+// must fail recovery cleanly — no partial store, no corrupted image — and a
+// retry after the device heals recovers everything. This is the crash-restart
+// path the chaos harness drives (its restart loop retries Recover until the
+// storage faults clear).
+func TestRecoverUnderReadFaults(t *testing.T) {
+	flaky := storage.NewFlaky(storage.NewNull())
+	cfg := Config{BucketCount: 1 << 8}
+	s := NewStore(flaky, cfg)
+	sess := s.NewSession()
+	for i := 0; i < 200; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	target := s.CurrentVersion()
+	if err := s.BeginCommit(target); err != nil {
+		t.Fatal(err)
+	}
+	waitPersisted(t, s, target)
+	sess.Close()
+	s.Close()
+
+	flaky.FailReads(true)
+	if _, err := Recover(flaky, cfg, target); err == nil {
+		t.Fatal("recovery over a read-failing device must error")
+	}
+
+	flaky.FailReads(false)
+	r, err := Recover(flaky, cfg, target)
+	if err != nil {
+		t.Fatalf("healed recovery: %v", err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	for _, k := range []string{"k0", "k42", "k199"} {
+		want := "v" + k[1:]
+		if got := mustRead(t, rs, k); string(got) != want {
+			t.Fatalf("recovered %s = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// failAfterReads passes through a bounded number of reads and then injects
+// failures: the mid-restore fault window (checkpoint metadata readable, log
+// body not).
+type failAfterReads struct {
+	storage.Device
+	left atomic.Int64
+}
+
+func (d *failAfterReads) Read(blob string, offset int64, size int) ([]byte, error) {
+	if d.left.Add(-1) < 0 {
+		return nil, storage.ErrInjected
+	}
+	return d.Device.Read(blob, offset, size)
+}
+
+// TestRecoverReadFaultMidRestore: the device dies after recovery has already
+// read the checkpoint metadata — the log load must surface the device error
+// rather than return a half-populated store.
+func TestRecoverReadFaultMidRestore(t *testing.T) {
+	mem := storage.NewNull()
+	cfg := Config{BucketCount: 1 << 8}
+	s := NewStore(mem, cfg)
+	sess := s.NewSession()
+	for i := 0; i < 200; i++ {
+		sess.Upsert([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	target := s.CurrentVersion()
+	if err := s.BeginCommit(target); err != nil {
+		t.Fatal(err)
+	}
+	waitPersisted(t, s, target)
+	sess.Close()
+	s.Close()
+
+	// Allow the "-latest" pointer and the checkpoint metadata through, then
+	// fail: the first log-body read hits the injected fault.
+	d := &failAfterReads{Device: mem}
+	d.left.Store(2)
+	_, err := Recover(d, cfg, target)
+	if err == nil {
+		t.Fatal("mid-restore read fault must fail recovery")
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("error should unwrap to the device fault: %v", err)
+	}
+
+	// The same device with unlimited reads recovers fine (nothing was
+	// corrupted by the aborted attempt).
+	d.left.Store(1 << 30)
+	r, err := Recover(d, cfg, target)
+	if err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "k42"); string(got) != "v" {
+		t.Fatalf("recovered %q", got)
 	}
 }
 

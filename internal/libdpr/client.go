@@ -28,11 +28,12 @@ type Session struct {
 	// failure holds a pending SurvivalError the application has not yet
 	// consumed; further operations fail fast until Acknowledge.
 	failure *core.SurvivalError
-	// lastCut caches the newest piggybacked cut folded into the tracker;
-	// replies carrying an unchanged cut skip the O(uncommitted) prefix
-	// scan, which would otherwise make high-throughput sessions quadratic
-	// between checkpoints.
-	lastCut core.Cut
+	// lastCut caches the newest piggybacked cut folded into the tracker
+	// (with the world-line it was observed on); replies carrying an
+	// unchanged cut skip the O(uncommitted) prefix scan, which would
+	// otherwise make high-throughput sessions quadratic between checkpoints.
+	lastCut   core.Cut
+	lastCutWL core.WorldLine
 }
 
 // NewSession creates a session at the metadata service's current world-line.
@@ -86,16 +87,19 @@ func (s *Session) CompleteBatch(worker core.WorkerID, h BatchHeader, r BatchRepl
 	if r.WorldLine > s.tracker.WorldLine() {
 		return s.handleFailure(r.WorldLine)
 	}
-	s.tracker.CompleteBatch(h.SeqStart, worker, r.Versions)
+	s.tracker.CompleteBatch(r.WorldLine, h.SeqStart, worker, r.Versions)
 	if len(r.Cut) > 0 {
 		s.mu.Lock()
-		changed := !s.lastCut.Equal(r.Cut)
+		changed := r.WorldLine != s.lastCutWL || !s.lastCut.Equal(r.Cut)
 		if changed {
 			s.lastCut = r.Cut.Clone()
+			s.lastCutWL = r.WorldLine
 		}
 		s.mu.Unlock()
 		if changed {
-			s.tracker.AdvanceCommitted(r.Cut)
+			// The cut was observed on the reply's world-line; the tracker
+			// ignores it unless it is still on that world-line.
+			s.tracker.AdvanceCommitted(r.WorldLine, r.Cut)
 		}
 	}
 	return nil
@@ -111,7 +115,14 @@ func (s *Session) NotifyWorldLine(wl core.WorldLine) error {
 }
 
 func (s *Session) handleFailure(wl core.WorldLine) error {
-	cut, err := s.meta.RecoveredCut(wl)
+	// A session that fell several recoveries behind must survive EVERY
+	// intermediate rollback, not just the latest: each one erased its own
+	// suffix, and version counters keep climbing afterwards, so the newest
+	// cut can numerically re-cover versions an earlier rollback already
+	// erased. Compose the per-worker minimum over the skipped world-lines.
+	// (Every tracked operation predates the first skipped recovery — any
+	// later completion would have announced that world-line first.)
+	cut, err := composeRecoveredCuts(s.meta, s.tracker.WorldLine(), wl)
 	if err != nil {
 		// Cannot resolve yet; surface a transient error, caller retries.
 		return fmt.Errorf("libdpr: world-line %d announced but cut unavailable: %w", wl, err)
@@ -124,6 +135,29 @@ func (s *Session) handleFailure(wl core.WorldLine) error {
 	s.failure = surv
 	s.mu.Unlock()
 	return surv
+}
+
+// composeRecoveredCuts folds the recovered cuts of world-lines (from, to]
+// into one survival constraint: the per-worker minimum. Used whenever a
+// participant (session or worker) discovers it fell more than one recovery
+// behind and must survive the whole chain at once.
+func composeRecoveredCuts(meta metadata.Service, from, to core.WorldLine) (core.Cut, error) {
+	var cut core.Cut
+	for w := from + 1; w <= to; w++ {
+		c, err := meta.RecoveredCut(w)
+		if err != nil {
+			return nil, err
+		}
+		if cut == nil {
+			cut = c.Clone()
+		} else {
+			cut.Lower(c)
+		}
+	}
+	if cut == nil {
+		cut = core.Cut{} // stale call: nothing to compose
+	}
+	return cut, nil
 }
 
 // Acknowledge clears a pending SurvivalError after the application has
@@ -152,7 +186,7 @@ func (s *Session) RefreshCommit() (uint64, error) {
 			return 0, err
 		}
 	}
-	p, _ := s.tracker.AdvanceCommitted(cut)
+	p, _ := s.tracker.AdvanceCommitted(wl, cut)
 	return p, nil
 }
 

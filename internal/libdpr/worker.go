@@ -94,12 +94,13 @@ type Worker struct {
 	cut      core.Cut
 	vmax     core.Version
 	reported core.Version
-	// cutShared is the latest cut as an immutable snapshot, published
-	// atomically so the per-operation Reply path is allocation-free.
-	cutShared atomic.Pointer[core.Cut]
-	// cutEncoded is the cfg.EncodeCut serialization of cutShared, refreshed
-	// in lockstep; nil when no encoder is configured.
-	cutEncoded atomic.Pointer[[]byte]
+	// cutSnap is the latest piggybackable cut as an immutable snapshot,
+	// published atomically so the per-operation Reply path is allocation-free.
+	// The snapshot is tagged with the world-line it was observed on: version
+	// numbers restart across world-lines, so a reply must never pair one
+	// world-line with another world-line's cut — a client session could
+	// commit erased operations whose tokens merely collide numerically.
+	cutSnap atomic.Pointer[cutSnapshot]
 
 	// lastDep caches the most recent (version, dependency) recorded so the
 	// hot path skips the deps mutex when a session hammers one worker with
@@ -107,11 +108,23 @@ type Worker struct {
 	// case within a refresh interval.
 	lastDep atomic.Pointer[versionDep]
 
-	// rollbackMu serializes Rollback calls: the cluster manager's rollback
-	// message and the worker's metadata-poll self-heal can race for the
-	// same world-line, and a duplicate Restore would silently erase
+	// execMu fences rollbacks against in-flight batch execution: batches
+	// hold it shared from guarded admission to release, Rollback holds it
+	// exclusive. Without this a Restore can interleave with an admitted
+	// batch and the batch's effects land on post-rollback state — operations
+	// from a rolled-back world-line leaking into the new one. Exclusive
+	// acquisition also serializes Rollback itself: the cluster manager's
+	// rollback message and the worker's metadata-poll self-heal can race for
+	// the same world-line, and a duplicate Restore would silently erase
 	// operations executed between the two calls.
-	rollbackMu sync.Mutex
+	execMu sync.RWMutex
+
+	// gates holds one execution gate per client session (keyed by
+	// BatchHeader.SessionID): batches of one session are serialized and
+	// sequence-fenced so a stale batch — delivered late over a connection
+	// the client already abandoned — cannot execute after newer operations
+	// of the same session already ran and reorder the session's history.
+	gates sync.Map // uint64 -> *sessionGate
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -147,12 +160,11 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 		cut:  make(core.Cut),
 		stop: make(chan struct{}),
 	}
-	empty := make(core.Cut)
-	w.cutShared.Store(&empty)
+	snap := &cutSnapshot{wl: wl, cut: make(core.Cut)}
 	if cfg.EncodeCut != nil {
-		enc := cfg.EncodeCut(empty)
-		w.cutEncoded.Store(&enc)
+		snap.encoded = cfg.EncodeCut(snap.cut)
 	}
+	w.cutSnap.Store(snap)
 	w.reported = so.PersistedVersion()
 	w.wg.Add(1)
 	go w.maintenanceLoop()
@@ -171,6 +183,33 @@ func (w *Worker) WorldLine() core.WorldLine { return w.wl.Current() }
 // ErrBatchRejected is returned when a batch cannot be admitted because the
 // client operates on an older world-line and must first recover.
 var ErrBatchRejected = errors.New("libdpr: batch rejected, client must recover")
+
+// ErrStaleBatch is returned when a batch's sequence range was already
+// superseded within the session — a late delivery over a connection the
+// client has abandoned. The client has long resolved these operations as
+// failed; executing them would reorder the session's history.
+var ErrStaleBatch = errors.New("libdpr: stale batch, sequence range superseded")
+
+// sessionGate serializes and sequence-fences one session's batch executions
+// on this worker.
+type sessionGate struct {
+	mu sync.Mutex
+	// wl is the world-line of the last admitted batch; sequence numbers
+	// restart when the session moves to a new world-line (the tracker
+	// truncates to the surviving prefix and reissues).
+	wl core.WorldLine
+	// next is the lowest sequence number still acceptable (one past the
+	// highest executed batch).
+	next uint64
+}
+
+func (w *Worker) gate(session uint64) *sessionGate {
+	if g, ok := w.gates.Load(session); ok {
+		return g.(*sessionGate)
+	}
+	g, _ := w.gates.LoadOrStore(session, &sessionGate{})
+	return g.(*sessionGate)
+}
 
 // AdmitBatch performs the server-side libDPR work before a batch executes
 // (§6): world-line admission and version fast-forward. On success it returns
@@ -195,6 +234,63 @@ func (w *Worker) AdmitBatch(h BatchHeader) (core.WorldLine, error) {
 		}
 	}
 	return w.wl.Current(), nil
+}
+
+// AdmitBatchGuarded is AdmitBatch plus the execution guard: on success the
+// admission is pinned until ReleaseBatch — rollbacks are held off (shared
+// execMu) and the session's gate is held, so same-session batches execute
+// strictly in sequence order and a stale batch from an abandoned connection
+// is rejected with ErrStaleBatch instead of clobbering newer state. Every
+// successful call MUST be paired with ReleaseBatch(h, executed): executed
+// advances the session fence; pass false when the batch was refused after
+// admission (e.g. ownership) so the client can retransmit the same numbers.
+func (w *Worker) AdmitBatchGuarded(h BatchHeader) (core.WorldLine, error) {
+	wl, err := w.AdmitBatch(h)
+	if err != nil {
+		return wl, err
+	}
+	w.execMu.RLock()
+	// Recheck under the guard: a rollback may have advanced the world-line
+	// between admission and here, and this batch would execute against
+	// post-rollback state.
+	if cur := w.wl.Current(); cur > h.WorldLine {
+		w.execMu.RUnlock()
+		return cur, fmt.Errorf("%w (worker at %d, batch at %d)", ErrBatchRejected, cur, h.WorldLine)
+	}
+	g := w.gate(h.SessionID)
+	g.mu.Lock()
+	if h.WorldLine > g.wl {
+		// The session crossed a rollback; its sequence space restarted.
+		g.wl, g.next = h.WorldLine, 0
+	}
+	if h.SeqStart < g.next {
+		g.mu.Unlock()
+		w.execMu.RUnlock()
+		return wl, fmt.Errorf("%w (session %d fenced at seq %d, batch starts at %d)",
+			ErrStaleBatch, h.SessionID, g.next, h.SeqStart)
+	}
+	return wl, nil
+}
+
+// ReleaseBatch ends the execution pinned by a successful AdmitBatchGuarded.
+func (w *Worker) ReleaseBatch(h BatchHeader, executed bool) {
+	g := w.gate(h.SessionID)
+	if executed {
+		if end := h.SeqStart + uint64(h.NumOps); end > g.next {
+			g.next = end
+		}
+	}
+	g.mu.Unlock()
+	w.execMu.RUnlock()
+}
+
+// cutSnapshot is an immutable (world-line, cut, pre-encoded cut) triple. It
+// is built and swapped in whole so readers always see a consistent pair of
+// cut and originating world-line.
+type cutSnapshot struct {
+	wl      core.WorldLine
+	cut     core.Cut
+	encoded []byte
 }
 
 // versionDep is a (version, dependency) pair for the RecordDependency
@@ -228,18 +324,28 @@ func (w *Worker) RecordDependency(v core.Version, dep core.Token) {
 }
 
 // Reply assembles the DPR reply header for a batch whose operations executed
-// in the given versions. The returned cut is a shared immutable snapshot:
-// callers must treat it as read-only. Reply performs no allocation.
+// in the given versions. The cut is piggybacked only when its originating
+// world-line matches the worker's current one (they diverge transiently
+// around rollbacks); callers holding the execution guard see a frozen
+// world-line, making the pairing exact. The returned cut is a shared
+// immutable snapshot: callers must treat it as read-only. Reply performs no
+// allocation.
 func (w *Worker) Reply(versions []core.Version) BatchReply {
-	return BatchReply{WorldLine: w.wl.Current(), Versions: versions, Cut: *w.cutShared.Load()}
+	r := BatchReply{WorldLine: w.wl.Current(), Versions: versions}
+	if snap := w.cutSnap.Load(); snap.wl == r.WorldLine {
+		r.Cut = snap.cut
+	}
+	return r
 }
 
 // EncodedCut returns the pre-serialized piggybacked cut (refreshed once per
-// RefreshInterval), or nil when no WorkerConfig.EncodeCut is configured. The
-// returned bytes are immutable and shared; callers must not modify them.
+// RefreshInterval), or nil when no WorkerConfig.EncodeCut is configured or
+// the cached cut belongs to a world-line other than the worker's current
+// one. The returned bytes are immutable and shared; callers must not modify
+// them.
 func (w *Worker) EncodedCut() []byte {
-	if enc := w.cutEncoded.Load(); enc != nil {
-		return *enc
+	if snap := w.cutSnap.Load(); snap.wl == w.wl.Current() {
+		return snap.encoded
 	}
 	return nil
 }
@@ -271,8 +377,12 @@ func (w *Worker) TriggerCommit() error {
 // every surviving worker during failure recovery (§4.1). Idempotent per
 // world-line.
 func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
-	w.rollbackMu.Lock()
-	defer w.rollbackMu.Unlock()
+	// Exclusive execMu: waits out in-flight batch executions (their effects
+	// belong to the old world-line and must be fully applied before the
+	// restore decides what survives) and blocks new ones until the restore
+	// completes. Also serializes concurrent Rollback calls.
+	w.execMu.Lock()
+	defer w.execMu.Unlock()
 	if wl <= w.wl.Current() {
 		return nil
 	}
@@ -368,7 +478,9 @@ func (w *Worker) reportPersisted() {
 
 // refreshState pulls the cut, Vmax and world-line from the finder. A
 // world-line ahead of ours means a failure was recovered elsewhere and this
-// worker missed the rollback message — self-heal by rolling back.
+// worker missed the rollback message — self-heal by rolling back BEFORE
+// publishing the cut, so the worker never advertises a cut for a world-line
+// it has not joined.
 func (w *Worker) refreshState() {
 	cut, vmax, wl, err := w.meta.State()
 	if err != nil {
@@ -378,15 +490,21 @@ func (w *Worker) refreshState() {
 	w.cut = cut
 	w.vmax = vmax
 	w.cutMu.Unlock()
-	snapshot := cut.Clone()
-	w.cutShared.Store(&snapshot)
-	if w.cfg.EncodeCut != nil {
-		enc := w.cfg.EncodeCut(snapshot)
-		w.cutEncoded.Store(&enc)
-	}
-	if wl > w.wl.Current() {
-		if rc, err := w.meta.RecoveredCut(wl); err == nil {
-			_ = w.Rollback(wl, rc)
+	if cur := w.wl.Current(); wl > cur {
+		// The worker may have missed more than one rollback message; like a
+		// lagging session, it must survive the whole chain, so the restore
+		// position is the minimum over every skipped recovery's cut.
+		rc, err := composeRecoveredCuts(w.meta, cur, wl)
+		if err != nil {
+			return
+		}
+		if w.Rollback(wl, rc) != nil {
+			return
 		}
 	}
+	snap := &cutSnapshot{wl: wl, cut: cut.Clone()}
+	if w.cfg.EncodeCut != nil {
+		snap.encoded = w.cfg.EncodeCut(snap.cut)
+	}
+	w.cutSnap.Store(snap)
 }

@@ -287,10 +287,29 @@ func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
 }
 
 // CompleteRecovery resumes DPR progress after all workers rolled back.
+// Prefer CompleteRecoveryFor: this unconditional form unfreezes even when a
+// newer recovery round is still in flight.
 func (s *Store) CompleteRecovery() {
 	s.simulateLatency()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.frozen = false
+	s.persistLocked()
+}
+
+// CompleteRecoveryFor resumes DPR progress only if wl is still the current
+// world-line. When a second failure arrives while a rollback round is in
+// flight, BeginRecovery hands out a newer world-line; the older round's
+// completion must then be a no-op — unfreezing would let the cut advance and
+// commit operations on the new world-line while its rollbacks are still
+// running, exactly the lost-committed-data window DPR freezes to prevent.
+func (s *Store) CompleteRecoveryFor(wl core.WorldLine) {
+	s.simulateLatency()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wl != s.worldLine {
+		return
+	}
 	s.frozen = false
 	s.persistLocked()
 }

@@ -64,6 +64,7 @@ const (
 	ErrCodeBadOwner  byte = 2 // key not owned by this worker
 	ErrCodeInternal  byte = 3
 	ErrCodeRetryable byte = 4
+	ErrCodeStale     byte = 5 // batch seq range superseded within its session
 )
 
 // MaxFrameSize bounds a single frame (16 MiB).
