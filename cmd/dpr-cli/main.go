@@ -17,23 +17,34 @@
 //	wait                  block until everything issued so far commits
 //	cut                   print the current DPR cut
 //	quit
+//
+// Cluster observability (no finder connection needed):
+//
+//	dpr-cli obs host1:8081 host2:8082,host3:8083
+//
+// scrapes each worker's /debug/dpr introspection endpoint and renders a
+// one-screen cluster view: versions, cut lag, world-lines, rollback counts.
 package main
 
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"dpr/internal/core"
 	"dpr/internal/dfaster"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/wire"
 )
 
@@ -42,6 +53,13 @@ func main() {
 	partitions := flag.Int("partitions", 64, "cluster-wide virtual partition count")
 	batch := flag.Int("b", 1, "batch size")
 	flag.Parse()
+
+	if flag.Arg(0) == "obs" {
+		if err := obsView(flag.Args()[1:]); err != nil {
+			log.Fatalf("obs: %v", err)
+		}
+		return
+	}
 
 	meta, err := metadata.Dial(*finderAddr)
 	if err != nil {
@@ -171,4 +189,59 @@ func decodeU64(b []byte) string {
 		return fmt.Sprintf("%d", binary.LittleEndian.Uint64(b))
 	}
 	return string(b)
+}
+
+// obsView scrapes /debug/dpr from every given obs address (space- or
+// comma-separated) and renders the one-screen cluster view. Unreachable
+// workers are reported inline rather than failing the whole view.
+func obsView(args []string) error {
+	var addrs []string
+	for _, a := range args {
+		for _, one := range strings.Split(a, ",") {
+			if one = strings.TrimSpace(one); one != "" {
+				addrs = append(addrs, one)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return errors.New("usage: dpr-cli obs <obs-addr>[,<obs-addr>...] ...")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tWORKER\tKIND\tWL\tCURRENT\tPERSISTED\tCOMMITTED\tCUT-LAG\tSESSIONS\tROLLBACKS\tBATCHES\tFROZEN")
+	for _, addr := range addrs {
+		st, err := scrapeDebugDPR(client, addr)
+		if err != nil {
+			fmt.Fprintf(tw, "%s\t-\t(unreachable: %v)\n", addr, err)
+			continue
+		}
+		worker := "-"
+		if st.Worker != 0 || st.Kind != "finder" {
+			worker = strconv.FormatUint(st.Worker, 10)
+		}
+		frozen := ""
+		if st.Frozen {
+			frozen = "FROZEN"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			addr, worker, st.Kind, st.WorldLine, st.CurrentVersion, st.PersistedVersion,
+			st.CommittedVersion, st.CutLag, st.Sessions, st.Rollbacks, st.Batches, frozen)
+	}
+	return tw.Flush()
+}
+
+func scrapeDebugDPR(client *http.Client, addr string) (*obs.DPRState, error) {
+	resp, err := client.Get("http://" + addr + "/debug/dpr")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var st obs.DPRState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }

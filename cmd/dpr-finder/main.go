@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/storage"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	hbCheck := flag.Duration("hb-check", 500*time.Millisecond, "heartbeat scan interval")
 	hbTimeout := flag.Duration("hb-timeout", 2*time.Second, "heartbeat timeout before a worker is declared failed")
 	ackTimeout := flag.Duration("ack-timeout", 10*time.Second, "how long recovery waits for rollback acks")
+	obsAddr := flag.String("obs-addr", "", "HTTP introspection address for /metrics, /debug/dpr, /debug/pprof (empty disables)")
 	flag.Parse()
 
 	var kind metadata.FinderKind
@@ -62,6 +64,13 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("dpr-finder serving on %s (finder=%s)", ln.Addr(), kind)
+	if *obsAddr != "" {
+		osrv, err := obs.StartServer(*obsAddr, nil, func() any { return store.DebugState() })
+		if err != nil {
+			log.Fatalf("obs server: %v", err)
+		}
+		log.Printf("obs endpoint on http://%s/metrics (also /debug/dpr, /debug/pprof)", osrv.Addr())
+	}
 
 	// Failure detection + recovery coordination loop.
 	ticker := time.NewTicker(*hbCheck)

@@ -21,8 +21,21 @@ import (
 	"dpr/internal/dfaster"
 	"dpr/internal/kv"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/storage"
 )
+
+// startObs serves /metrics, /debug/dpr, and pprof on addr ("" disables).
+func startObs(addr string, w *dfaster.Worker) {
+	if addr == "" {
+		return
+	}
+	srv, err := obs.StartServer(addr, nil, func() any { return w.DebugState() })
+	if err != nil {
+		log.Fatalf("obs server: %v", err)
+	}
+	log.Printf("obs endpoint on http://%s/metrics (also /debug/dpr, /debug/pprof)", srv.Addr())
+}
 
 func main() {
 	id := flag.Uint("id", 1, "worker id (unique across the cluster)")
@@ -35,6 +48,7 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "in-memory log budget in bytes (0 = unbounded)")
 	hbEvery := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
 	recover := flag.Bool("recover", false, "recover shard state from the data directory")
+	obsAddr := flag.String("obs-addr", "", "HTTP introspection address for /metrics, /debug/dpr, /debug/pprof (empty disables)")
 	flag.Parse()
 
 	meta, err := metadata.Dial(*finderAddr)
@@ -75,7 +89,7 @@ func main() {
 		// The recovered store is adopted by the worker below through the
 		// same code path; kv.Recover already positioned it. We wrap it
 		// manually since dfaster.NewWorker builds its own store.
-		runRecovered(store, workerID, *listen, *finderAddr, *own, *partitions, *ckpt, *hbEvery, device)
+		runRecovered(store, workerID, *listen, *finderAddr, *own, *partitions, *ckpt, *hbEvery, device, *obsAddr)
 		return
 	}
 
@@ -92,6 +106,7 @@ func main() {
 	}
 	defer w.Stop()
 	claim(w, *own, *partitions, int(*id))
+	startObs(*obsAddr, w)
 	log.Printf("dpr-server %d serving on %s", workerID, w.Addr())
 	heartbeatLoop(meta, workerID, *hbEvery)
 }
@@ -141,7 +156,7 @@ func heartbeatLoop(meta *metadata.RPCClient, id core.WorkerID, every time.Durati
 // runRecovered serves a pre-recovered store. It mirrors dfaster.NewWorker's
 // assembly but injects the recovered kv instance via the libDPR layer.
 func runRecovered(store *kv.Store, id core.WorkerID, listen, finderAddr, own string,
-	partitions int, ckpt, hbEvery time.Duration, device storage.Device) {
+	partitions int, ckpt, hbEvery time.Duration, device storage.Device, obsAddr string) {
 	meta, err := metadata.Dial(finderAddr)
 	if err != nil {
 		log.Fatalf("dial finder: %v", err)
@@ -159,6 +174,7 @@ func runRecovered(store *kv.Store, id core.WorkerID, listen, finderAddr, own str
 	}
 	defer w.Stop()
 	claim(w, own, partitions, int(id))
+	startObs(obsAddr, w)
 	log.Printf("dpr-server %d recovered and serving on %s", id, w.Addr())
 	heartbeatLoop(meta, id, hbEvery)
 }

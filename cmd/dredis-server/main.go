@@ -18,6 +18,7 @@ import (
 	"dpr/internal/core"
 	"dpr/internal/dredis"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/redisclone"
 	"dpr/internal/storage"
 )
@@ -30,6 +31,7 @@ func main() {
 	ckpt := flag.Duration("checkpoint", 100*time.Millisecond, "commit (BGSAVE) interval")
 	aofMode := flag.String("aof", "off", "append-only file: off | always | everysec")
 	hbEvery := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
+	obsAddr := flag.String("obs-addr", "", "HTTP introspection address for /metrics, /debug/dpr, /debug/pprof (empty disables)")
 	flag.Parse()
 
 	meta, err := metadata.Dial(*finderAddr)
@@ -73,6 +75,13 @@ func main() {
 		log.Fatalf("start worker: %v", err)
 	}
 	defer w.Stop()
+	if *obsAddr != "" {
+		srv, err := obs.StartServer(*obsAddr, nil, func() any { return w.DebugState() })
+		if err != nil {
+			log.Fatalf("obs server: %v", err)
+		}
+		log.Printf("obs endpoint on http://%s/metrics (also /debug/dpr, /debug/pprof)", srv.Addr())
+	}
 	log.Printf("dredis-server %d serving on %s", *id, w.Addr())
 
 	// Heartbeat immediately, then on the interval (see dpr-server).

@@ -27,6 +27,7 @@ import (
 	"dpr/internal/dredis"
 	"dpr/internal/kv"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/storage"
 	"dpr/internal/wire"
 )
@@ -182,6 +183,23 @@ func (h *Harness) Close() {
 			slot.dr.Stop()
 		}
 	}
+}
+
+// ObsDump snapshots every live component's /debug/dpr view — the finder plus
+// each slot's current worker process (slots whose process is mid-restart are
+// skipped). On a checker failure these land next to the seed and schedule, so
+// a red run carries the cluster's protocol state, not just the symptom.
+func (h *Harness) ObsDump() []obs.DPRState {
+	out := []obs.DPRState{h.store.DebugState()}
+	for _, slot := range h.slots {
+		switch {
+		case slot.df != nil:
+			out = append(out, slot.df.DebugState())
+		case slot.dr != nil:
+			out = append(out, slot.dr.DebugState())
+		}
+	}
+	return out
 }
 
 // Service returns the metadata service clients and workers use (with fault

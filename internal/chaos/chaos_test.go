@@ -1,16 +1,52 @@
 package chaos
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/wire"
 )
+
+// obsArtifact is the JSON document dumped next to a failing seed: the seed,
+// the reason and schedule, and every live component's /debug/dpr snapshot
+// (versions, cuts, world-lines, trace rings) at the moment of failure.
+type obsArtifact struct {
+	Seed      int64          `json:"seed"`
+	Reason    string         `json:"reason"`
+	Schedule  string         `json:"schedule"`
+	Snapshots []obs.DPRState `json:"snapshots"`
+}
+
+// dumpObsArtifact writes the cluster's observability state to
+// $CHAOS_ARTIFACT_DIR/chaos-obs-seed<seed>.json (default: the working
+// directory) so CI uploads it alongside chaos.log.
+func dumpObsArtifact(t *testing.T, h *Harness, seed int64, schedule, reason string) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		dir = "."
+	}
+	art := obsArtifact{Seed: seed, Reason: reason, Schedule: schedule, Snapshots: h.ObsDump()}
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		t.Logf("obs artifact: marshal: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-obs-seed%d.json", seed))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("obs artifact: write %s: %v", path, err)
+		return
+	}
+	t.Logf("obs snapshots dumped to %s", path)
+}
 
 // chaosSeeds picks the seed set: CHAOS_SEED replays one failing scenario,
 // CHAOS_SEEDS=<n> sweeps n consecutive seeds (nightly), short mode pins the
@@ -91,6 +127,7 @@ func runChaosScenario(t *testing.T, seed int64) {
 		r.halt()
 	}
 	if execErr != nil {
+		dumpObsArtifact(t, h, seed, sch.String(), fmt.Sprintf("schedule execution: %v", execErr))
 		t.Fatalf("schedule execution: %v\nschedule:\n%s", execErr, sch)
 	}
 
@@ -98,6 +135,7 @@ func runChaosScenario(t *testing.T, seed int64) {
 	// reads back everything it ever wrote over the fault-free cluster.
 	for _, r := range runners {
 		if err := r.settle(20 * time.Second); err != nil {
+			dumpObsArtifact(t, h, seed, sch.String(), fmt.Sprintf("settle: %v", err))
 			t.Fatalf("%v\nschedule:\n%s", err, sch)
 		}
 		r.readback()
@@ -109,6 +147,8 @@ func runChaosScenario(t *testing.T, seed int64) {
 	}
 	violations = append(violations, monitor.Stop()...)
 	if len(violations) > 0 {
+		dumpObsArtifact(t, h, seed, sch.String(),
+			fmt.Sprintf("invariant violations: %s", strings.Join(violations, "; ")))
 		t.Fatalf("invariant violations:\n  %s\nschedule:\n%s",
 			strings.Join(violations, "\n  "), sch)
 	}

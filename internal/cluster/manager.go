@@ -14,6 +14,16 @@ import (
 	"dpr/internal/core"
 	"dpr/internal/libdpr"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
+)
+
+// Recovery-round instruments, shared by every manager in the process (the
+// deployment runs one).
+var (
+	recoveriesC = obs.Default.Counter("dpr_cluster_recoveries_total",
+		"Recovery rounds completed by the cluster manager.")
+	recoveryDurH = obs.Default.Histogram("dpr_cluster_recovery_duration_seconds",
+		"Wall-clock duration of a recovery round (freeze through resume).")
 )
 
 // RollbackTarget is a worker the manager can command to roll back; both
@@ -74,6 +84,7 @@ func (m *Manager) Recoveries() int {
 // a previous recovery is still in flight (nested failures, §7.4): the
 // world-line advances again and workers re-roll to the same frozen cut.
 func (m *Manager) OnFailure() (core.WorldLine, core.Cut, error) {
+	start := time.Now()
 	wl, cut := m.meta.BeginRecovery()
 
 	m.mu.Lock()
@@ -104,6 +115,8 @@ func (m *Manager) OnFailure() (core.WorldLine, core.Cut, error) {
 	m.mu.Lock()
 	m.recoveries++
 	m.mu.Unlock()
+	recoveriesC.Inc()
+	recoveryDurH.Observe(time.Since(start))
 	return wl, cut, nil
 }
 

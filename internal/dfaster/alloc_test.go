@@ -1,0 +1,91 @@
+package dfaster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/dfaster"
+	"dpr/internal/kv"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+	"dpr/internal/storage"
+	"dpr/internal/wire"
+)
+
+// TestInstrumentedServePathZeroAlloc pins the PR 1 invariant with the obs
+// subsystem live: the full batch serve loop — client header, server-side
+// admission, execution, dependency recording, reply, client completion —
+// stays at 0 allocs/op even though every batch now records counters, two
+// histograms, and the commit-latency probe. The instruments are pure
+// atomics; a regression here means something put an allocation or a lock on
+// the hot path.
+func TestInstrumentedServePathZeroAlloc(t *testing.T) {
+	const partitions = 8
+	const batchSize = 32
+	meta := metadata.NewStore(metadata.Config{Finder: metadata.FinderApproximate})
+	w, err := dfaster.NewWorker(dfaster.WorkerConfig{
+		ID:                 1,
+		CheckpointInterval: time.Hour, // keep background maintenance out of the counts
+		Partitions:         partitions,
+		Device:             storage.NewNull(),
+		KV:                 kv.Config{BucketCount: 1 << 10},
+	}, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	for p := 0; p < partitions; p++ {
+		if err := w.ClaimPartitions(uint64(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess, err := libdpr.NewSession(meta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvSess := w.Store().NewSession()
+	defer kvSess.Close()
+	sc := dfaster.NewBatchScratch()
+
+	ops := make([]wire.Op, batchSize)
+	for i := range ops {
+		key := []byte(fmt.Sprintf("alloc-key-%03d", i%61))
+		if i%2 == 0 {
+			ops[i] = wire.Op{Kind: wire.OpUpsert, Key: key, Value: []byte("alloc-value")}
+		} else {
+			ops[i] = wire.Op{Kind: wire.OpRead, Key: key}
+		}
+	}
+	req := &wire.BatchRequest{Ops: ops}
+	versions := make([]core.Version, batchSize)
+
+	runBatch := func() {
+		h, err := sess.NextBatch(batchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header = h
+		reply, errReply := w.ExecuteLocalScratch(kvSess, req, sc)
+		if errReply != nil {
+			t.Fatalf("batch refused: %+v", errReply)
+		}
+		for i, r := range reply.Results {
+			versions[i] = r.Version
+		}
+		if err := sess.CompleteBatch(w.ID(), h, libdpr.BatchReply{
+			WorldLine: reply.WorldLine, Versions: versions, Cut: reply.Cut,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm: store structures, scratch, session maps, dependency cache.
+	for i := 0; i < 200; i++ {
+		runBatch()
+	}
+	if n := testing.AllocsPerRun(200, runBatch); n != 0 {
+		t.Fatalf("instrumented serve path allocates %.2f allocs/op, want 0", n)
+	}
+}

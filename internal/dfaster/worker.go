@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"dpr/internal/kv"
 	"dpr/internal/libdpr"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/storage"
 	"dpr/internal/wire"
 )
@@ -57,6 +59,10 @@ type WorkerConfig struct {
 	// unreachable) the worker stops serving the partition after the lease
 	// expires. 0 disables leasing (claims never expire).
 	LeaseDuration time.Duration
+	// Obs selects the metrics registry (nil: obs.Default); TraceSize the
+	// lifecycle trace ring capacity (<= 0: obs.DefaultTraceSize).
+	Obs       *obs.Registry
+	TraceSize int
 }
 
 // Worker is one D-FASTER shard server.
@@ -83,6 +89,13 @@ type Worker struct {
 	// loops; without this, Stop hangs until clients hang up on their own.
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
+
+	// Serving-layer instruments (libDPR protocol instruments live on w.dpr).
+	batchesC  *obs.Counter
+	opsC      *obs.Counter
+	badOwnerC *obs.Counter
+	batchLatH *obs.Histogram
+	batchOpsH *obs.Histogram
 }
 
 // NewWorker builds and starts a worker (store, libDPR wrapper, listener).
@@ -127,6 +140,8 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		// Pre-encode the piggybacked cut once per refresh so replies splice
 		// bytes instead of re-serializing the map per batch.
 		EncodeCut: func(c core.Cut) []byte { return wire.AppendCut(nil, c) },
+		Obs:       cfg.Obs,
+		TraceSize: cfg.TraceSize,
 	}, store, meta)
 	if err != nil {
 		if w.ln != nil {
@@ -136,6 +151,7 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		return nil, err
 	}
 	w.dpr = dw
+	w.registerObs()
 	if w.ln != nil {
 		w.wg.Add(1)
 		go w.acceptLoop()
@@ -157,6 +173,39 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		}()
 	}
 	return w, nil
+}
+
+// registerObs registers the serving-layer instruments. Get-or-create
+// semantics make this idempotent across worker restarts with the same id.
+func (w *Worker) registerObs() {
+	reg := w.cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	lbls := []obs.Label{
+		obs.L("worker", strconv.FormatUint(uint64(w.cfg.ID), 10)),
+		obs.L("store", "dfaster"),
+	}
+	w.batchesC = reg.Counter("dpr_server_batches_total",
+		"Batches executed by the serving layer.", lbls...)
+	w.opsC = reg.Counter("dpr_server_ops_total",
+		"Operations executed by the serving layer.", lbls...)
+	w.badOwnerC = reg.Counter("dpr_server_batches_not_owned_total",
+		"Batches refused because a key's partition is not owned here.", lbls...)
+	w.batchLatH = reg.Histogram("dpr_server_batch_latency_seconds",
+		"Server-side batch execution latency (admission through reply assembly).", lbls...)
+	w.batchOpsH = reg.ValueHistogram("dpr_server_batch_ops",
+		"Operations per executed batch.", lbls...)
+}
+
+// DebugState assembles the /debug/dpr snapshot, layering serving-layer
+// counters onto the libDPR protocol view.
+func (w *Worker) DebugState() obs.DPRState {
+	st := w.dpr.DebugState("dfaster")
+	st.OwnedPartitions = len(*w.ownedSnap.Load())
+	st.Batches = w.batchesC.Value()
+	st.Ops = w.opsC.Value()
+	return st
 }
 
 // ID implements cluster.RollbackTarget.
@@ -473,6 +522,7 @@ func (w *Worker) serveConn(conn net.Conn) {
 // the co-located path. The returned reply (and the values inside it) aliases
 // sc; it is valid until the next executeBatch call with the same scratch.
 func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
+	start := time.Now()
 	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
 		code := wire.ErrCodeRejected
 		if errors.Is(err, libdpr.ErrStaleBatch) {
@@ -492,6 +542,7 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 	now := time.Now()
 	for i := range req.Ops {
 		if !ownsAt(owned, PartitionOf(req.Ops[i].Key, w.cfg.Partitions), now) {
+			w.badOwnerC.Inc()
 			return nil, &wire.ErrorReply{
 				Code:      wire.ErrCodeBadOwner,
 				WorldLine: w.dpr.WorldLine(),
@@ -603,6 +654,10 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 		// skipping per-batch map serialization.
 		EncodedCut: w.dpr.EncodedCut(),
 	}
+	w.batchesC.Inc()
+	w.opsC.Add(uint64(len(req.Ops)))
+	w.batchOpsH.ObserveValue(uint64(len(req.Ops)))
+	w.batchLatH.Observe(time.Since(start))
 	return &sc.reply, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"dpr/internal/core"
 	"dpr/internal/libdpr"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 	"dpr/internal/redisclone"
 	"dpr/internal/storage"
 	"dpr/internal/wire"
@@ -198,6 +200,10 @@ type WorkerConfig struct {
 	// AOF lets Figure 19 run the same worker in synchronous-recoverability
 	// mode (AOFAlways) or eventual mode; leave AOFOff for DPR.
 	AOF redisclone.AOFMode
+	// Obs selects the metrics registry (nil: obs.Default); TraceSize the
+	// lifecycle trace ring capacity (<= 0: obs.DefaultTraceSize).
+	Obs       *obs.Registry
+	TraceSize int
 }
 
 // Worker is one D-Redis shard: an unmodified redisclone instance fronted by
@@ -216,6 +222,12 @@ type Worker struct {
 	// conns tracks accepted connections so Stop can unblock their read
 	// loops; without this, Stop hangs until clients hang up on their own.
 	tracker connTracker
+
+	// Serving-layer instruments (libDPR protocol instruments live on w.dpr).
+	batchesC  *obs.Counter
+	opsC      *obs.Counter
+	batchLatH *obs.Histogram
+	batchOpsH *obs.Histogram
 }
 
 // connTracker registers live connections so Stop can close them. The
@@ -296,6 +308,8 @@ func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
 		// Pre-encode the piggybacked cut once per refresh so replies splice
 		// bytes instead of re-serializing the map per batch.
 		EncodeCut: func(c core.Cut) []byte { return wire.AppendCut(nil, c) },
+		Obs:       cfg.Obs,
+		TraceSize: cfg.TraceSize,
 	}, so, meta)
 	if err != nil {
 		if w.ln != nil {
@@ -305,11 +319,42 @@ func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
 		return nil, err
 	}
 	w.dpr = dw
+	w.registerObs()
 	if w.ln != nil {
 		w.wg.Add(1)
 		go w.acceptLoop()
 	}
 	return w, nil
+}
+
+// registerObs registers the serving-layer instruments. Get-or-create
+// semantics make this idempotent across worker restarts with the same id.
+func (w *Worker) registerObs() {
+	reg := w.cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	lbls := []obs.Label{
+		obs.L("worker", strconv.FormatUint(uint64(w.cfg.ID), 10)),
+		obs.L("store", "dredis"),
+	}
+	w.batchesC = reg.Counter("dpr_server_batches_total",
+		"Batches executed by the serving layer.", lbls...)
+	w.opsC = reg.Counter("dpr_server_ops_total",
+		"Operations executed by the serving layer.", lbls...)
+	w.batchLatH = reg.Histogram("dpr_server_batch_latency_seconds",
+		"Server-side batch execution latency (admission through reply assembly).", lbls...)
+	w.batchOpsH = reg.ValueHistogram("dpr_server_batch_ops",
+		"Operations per executed batch.", lbls...)
+}
+
+// DebugState assembles the /debug/dpr snapshot, layering serving-layer
+// counters onto the libDPR protocol view.
+func (w *Worker) DebugState() obs.DPRState {
+	st := w.dpr.DebugState("dredis")
+	st.Batches = w.batchesC.Value()
+	st.Ops = w.opsC.Value()
+	return st
 }
 
 // ID implements cluster.RollbackTarget.
@@ -423,6 +468,7 @@ func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.E
 // executeBatch is ExecuteBatch with a caller-held scratch; the reply aliases
 // sc and is valid until the next execution with the same scratch.
 func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.BatchReply, *wire.ErrorReply) {
+	start := time.Now()
 	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
 		code := wire.ErrCodeRejected
 		if errors.Is(err, libdpr.ErrStaleBatch) {
@@ -494,6 +540,10 @@ func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.B
 		// serialization.
 		EncodedCut: w.dpr.EncodedCut(),
 	}
+	w.batchesC.Inc()
+	w.opsC.Add(uint64(len(req.Ops)))
+	w.batchOpsH.ObserveValue(uint64(len(req.Ops)))
+	w.batchLatH.Observe(time.Since(start))
 	return &sc.reply, nil
 }
 

@@ -8,9 +8,27 @@ import (
 
 	"dpr/internal/core"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 )
 
 var sessionIDs atomic.Uint64
+
+// Client-side instruments are process-wide (sessions come and go too fast to
+// label individually) and registered once, on first session creation.
+var (
+	clientObsOnce  sync.Once
+	commitLatency  *obs.Histogram
+	survivalErrors *obs.Counter
+)
+
+func registerClientObs() {
+	clientObsOnce.Do(func() {
+		commitLatency = obs.Default.Histogram("dpr_client_commit_latency_seconds",
+			"Latency from issuing a batch to its last operation being covered by a committed cut (one outstanding probe per session).")
+		survivalErrors = obs.Default.Counter("dpr_client_survival_errors_total",
+			"Survival errors surfaced to applications after rollbacks erased part of a session.")
+	})
+}
 
 // Session is the client-side libDPR state for one session: it assigns
 // sequence numbers, computes dependency headers for outgoing batches,
@@ -34,6 +52,13 @@ type Session struct {
 	// otherwise make high-throughput sessions quadratic between checkpoints.
 	lastCut   core.Cut
 	lastCutWL core.WorldLine
+
+	// Commit-latency probe: at most one outstanding sample per session, so
+	// measuring the paper's Fig 12 metric (issue → covered by a committed
+	// cut) costs two atomics per batch and never allocates. probeSeq is the
+	// probed batch's last sequence number (0 = idle); probeAt its issue time.
+	probeSeq atomic.Uint64
+	probeAt  atomic.Int64
 }
 
 // NewSession creates a session at the metadata service's current world-line.
@@ -43,6 +68,7 @@ func NewSession(meta metadata.Service, relaxed bool) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	registerClientObs()
 	return &Session{
 		id:      sessionIDs.Add(1),
 		tracker: core.NewSessionTracker(wl, relaxed),
@@ -75,7 +101,31 @@ func (s *Session) NextBatch(n int) (BatchHeader, error) {
 	if dep, ok := s.tracker.LatestToken(); ok {
 		h.Dep = dep
 	}
+	if n > 0 && s.probeSeq.Load() == 0 {
+		// Arm under s.mu so a concurrent issuer cannot clobber probeAt
+		// between the idle check and the claim.
+		s.mu.Lock()
+		if s.probeSeq.Load() == 0 {
+			s.probeAt.Store(time.Now().UnixNano())
+			s.probeSeq.Store(h.SeqStart + uint64(n) - 1)
+		}
+		s.mu.Unlock()
+	}
 	return h, nil
+}
+
+// resolveProbe completes the outstanding commit-latency probe if the
+// committed prefix now covers it. CAS claims the probe so concurrent
+// completion threads record the sample exactly once.
+func (s *Session) resolveProbe(p uint64) {
+	target := s.probeSeq.Load()
+	if target == 0 || p < target {
+		return
+	}
+	if !s.probeSeq.CompareAndSwap(target, 0) {
+		return
+	}
+	commitLatency.Observe(time.Duration(time.Now().UnixNano() - s.probeAt.Load()))
 }
 
 // CompleteBatch digests a batch reply: it resolves each operation to its
@@ -99,7 +149,8 @@ func (s *Session) CompleteBatch(worker core.WorkerID, h BatchHeader, r BatchRepl
 		if changed {
 			// The cut was observed on the reply's world-line; the tracker
 			// ignores it unless it is still on that world-line.
-			s.tracker.AdvanceCommitted(r.WorldLine, r.Cut)
+			p, _ := s.tracker.AdvanceCommitted(r.WorldLine, r.Cut)
+			s.resolveProbe(p)
 		}
 	}
 	return nil
@@ -128,9 +179,13 @@ func (s *Session) handleFailure(wl core.WorldLine) error {
 		return fmt.Errorf("libdpr: world-line %d announced but cut unavailable: %w", wl, err)
 	}
 	surv := s.tracker.OnFailure(wl, cut)
+	// Drop any outstanding probe: the rollback may have erased the probed
+	// batch, in which case its target seq would never be covered.
+	s.probeSeq.Store(0)
 	if surv == nil {
 		return nil // stale
 	}
+	survivalErrors.Inc()
 	s.mu.Lock()
 	s.failure = surv
 	s.mu.Unlock()
@@ -187,6 +242,7 @@ func (s *Session) RefreshCommit() (uint64, error) {
 		}
 	}
 	p, _ := s.tracker.AdvanceCommitted(wl, cut)
+	s.resolveProbe(p)
 	return p, nil
 }
 

@@ -11,12 +11,14 @@ package libdpr
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dpr/internal/core"
 	"dpr/internal/metadata"
+	"dpr/internal/obs"
 )
 
 // StateObject extends core.StateObject with the current-version accessor
@@ -78,6 +80,14 @@ type WorkerConfig struct {
 	// spliced verbatim into reply frames by the serving layer. libdpr cannot
 	// import the wire format, so the encoder is injected.
 	EncodeCut func(core.Cut) []byte
+	// Obs is the metric registry DPR instruments register into (nil selects
+	// obs.Default). Observability is always on; the instruments are atomic
+	// counters and scrape-time gauges, so the cost off the scrape path is a
+	// few atomic ops on rare events and zero on the batch hot path.
+	Obs *obs.Registry
+	// TraceSize caps the version-lifecycle trace ring (<= 0 selects
+	// obs.DefaultTraceSize).
+	TraceSize int
 }
 
 // Worker is the server-side libDPR state for one StateObject shard.
@@ -126,6 +136,17 @@ type Worker struct {
 	// of the same session already ran and reorder the session's history.
 	gates sync.Map // uint64 -> *sessionGate
 
+	// Observability: the lifecycle trace ring, the last successful finder
+	// refresh (unixnano, for the refresh-age gauge), and the event counters.
+	// Everything here is atomic; the batch hot path touches the counters
+	// only on rejection.
+	trace         *obs.Trace
+	refreshedAt   atomic.Int64
+	rollbacksC    *obs.Counter
+	rejectedC     *obs.Counter
+	staleC        *obs.Counter
+	fastForwardsC *obs.Counter
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -166,9 +187,114 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 	}
 	w.cutSnap.Store(snap)
 	w.reported = so.PersistedVersion()
+	w.registerObs()
 	w.wg.Add(1)
 	go w.maintenanceLoop()
 	return w, nil
+}
+
+// registerObs registers the worker's DPR instruments. Gauges are
+// callback-backed (cost paid at scrape time only) and re-registering — a
+// restarted worker with the same id — rebinds them to the new instance.
+func (w *Worker) registerObs() {
+	reg := w.cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	w.trace = obs.NewTrace(w.cfg.TraceSize)
+	w.refreshedAt.Store(time.Now().UnixNano())
+	lbl := obs.L("worker", strconv.FormatUint(uint64(w.cfg.ID), 10))
+	reg.GaugeFunc("dpr_worker_world_line",
+		"Current world-line of this worker.",
+		func() float64 { return float64(w.wl.Current()) }, lbl)
+	reg.GaugeFunc("dpr_worker_current_version",
+		"Version new operations execute in.",
+		func() float64 { return float64(w.so.CurrentVersion()) }, lbl)
+	reg.GaugeFunc("dpr_worker_persisted_version",
+		"Newest locally durable version.",
+		func() float64 { return float64(w.so.PersistedVersion()) }, lbl)
+	reg.GaugeFunc("dpr_worker_committed_version",
+		"This worker's position in its view of the DPR cut.",
+		func() float64 { self, _ := w.cutPositions(); return float64(self) }, lbl)
+	reg.GaugeFunc("dpr_worker_cut_lag",
+		"Versions this worker's cut position trails the fastest worker's.",
+		func() float64 {
+			self, max := w.cutPositions()
+			return float64(max - self)
+		}, lbl)
+	reg.GaugeFunc("dpr_worker_refresh_age_seconds",
+		"Seconds since the cut/world-line view was last refreshed from the finder.",
+		func() float64 {
+			return time.Since(time.Unix(0, w.refreshedAt.Load())).Seconds()
+		}, lbl)
+	reg.GaugeFunc("dpr_worker_sessions",
+		"Client sessions with execution state on this worker.",
+		func() float64 { return float64(w.sessionCount()) }, lbl)
+	w.rollbacksC = reg.Counter("dpr_worker_rollbacks_total",
+		"Completed rollback rounds on this worker.", lbl)
+	w.rejectedC = reg.Counter("dpr_worker_batches_rejected_total",
+		"Batches rejected at admission (client behind a world-line).", lbl)
+	w.staleC = reg.Counter("dpr_worker_batches_stale_total",
+		"Batches rejected by the session sequence fence (late redelivery).", lbl)
+	w.fastForwardsC = reg.Counter("dpr_worker_version_fast_forwards_total",
+		"Admissions that forced a commit to satisfy the progress rule.", lbl)
+}
+
+// cutPositions returns this worker's position in its cached cut and the
+// maximum position across the cut (the fastest worker).
+func (w *Worker) cutPositions() (self, max core.Version) {
+	w.cutMu.Lock()
+	defer w.cutMu.Unlock()
+	self = w.cut.Get(w.cfg.ID)
+	for _, v := range w.cut {
+		if v > max {
+			max = v
+		}
+	}
+	return self, max
+}
+
+func (w *Worker) sessionCount() int {
+	n := 0
+	w.gates.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// Trace exposes the worker's lifecycle trace ring.
+func (w *Worker) Trace() *obs.Trace { return w.trace }
+
+// DebugState assembles the /debug/dpr snapshot for this worker; the serving
+// layer (dfaster/dredis) layers its own fields on top.
+func (w *Worker) DebugState(kind string) obs.DPRState {
+	w.cutMu.Lock()
+	cut := w.cut.Clone()
+	w.cutMu.Unlock()
+	self := cut.Get(w.cfg.ID)
+	var max core.Version
+	cutJSON := make(map[string]uint64, len(cut))
+	for id, v := range cut {
+		if v > max {
+			max = v
+		}
+		cutJSON[strconv.FormatUint(uint64(id), 10)] = uint64(v)
+	}
+	return obs.DPRState{
+		Worker:            uint64(w.cfg.ID),
+		Kind:              kind,
+		WorldLine:         uint64(w.wl.Current()),
+		CurrentVersion:    uint64(w.so.CurrentVersion()),
+		PersistedVersion:  uint64(w.so.PersistedVersion()),
+		CommittedVersion:  uint64(self),
+		CutMax:            uint64(max),
+		CutLag:            uint64(max - self),
+		Cut:               cutJSON,
+		Sessions:          w.sessionCount(),
+		Rollbacks:         w.rollbacksC.Value(),
+		RejectedBatches:   w.rejectedC.Value(),
+		StaleBatches:      w.staleC.Value(),
+		RefreshAgeSeconds: time.Since(time.Unix(0, w.refreshedAt.Load())).Seconds(),
+		Trace:             w.trace.Snapshot(),
+	}
 }
 
 // ID returns the worker's id.
@@ -216,12 +342,15 @@ func (w *Worker) gate(session uint64) *sessionGate {
 // the world-line the batch executes in.
 func (w *Worker) AdmitBatch(h BatchHeader) (core.WorldLine, error) {
 	if err := w.wl.Admit(h.WorldLine, w.cfg.AdmitTimeout); err != nil {
+		w.rejectedC.Inc()
+		w.trace.Record(obs.EvBatchRejected, uint64(w.wl.Current()), uint64(h.WorldLine), 0)
 		return w.wl.Current(), fmt.Errorf("%w (worker at %d, batch at %d)",
 			ErrBatchRejected, w.wl.Current(), h.WorldLine)
 	}
 	// Progress rule: execute only in a version >= Vs. Fast-forward by
 	// committing until the version catches up.
 	if h.Vs > w.so.CurrentVersion() {
+		w.fastForwardsC.Inc()
 		if err := w.so.BeginCommit(h.Vs - 1); err != nil {
 			return w.wl.Current(), err
 		}
@@ -255,6 +384,8 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader) (core.WorldLine, error) {
 	// post-rollback state.
 	if cur := w.wl.Current(); cur > h.WorldLine {
 		w.execMu.RUnlock()
+		w.rejectedC.Inc()
+		w.trace.Record(obs.EvBatchRejected, uint64(cur), uint64(h.WorldLine), 0)
 		return cur, fmt.Errorf("%w (worker at %d, batch at %d)", ErrBatchRejected, cur, h.WorldLine)
 	}
 	g := w.gate(h.SessionID)
@@ -264,10 +395,13 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader) (core.WorldLine, error) {
 		g.wl, g.next = h.WorldLine, 0
 	}
 	if h.SeqStart < g.next {
+		fence := g.next
 		g.mu.Unlock()
 		w.execMu.RUnlock()
+		w.staleC.Inc()
+		w.trace.Record(obs.EvBatchStale, h.SessionID, fence, h.SeqStart)
 		return wl, fmt.Errorf("%w (session %d fenced at seq %d, batch starts at %d)",
-			ErrStaleBatch, h.SessionID, g.next, h.SeqStart)
+			ErrStaleBatch, h.SessionID, fence, h.SeqStart)
 	}
 	return wl, nil
 }
@@ -369,6 +503,7 @@ func (w *Worker) TriggerCommit() error {
 	if vmax > target {
 		target = vmax
 	}
+	w.trace.Record(obs.EvCheckpointBegin, uint64(w.wl.Current()), uint64(target), 0)
 	return w.so.BeginCommit(target)
 }
 
@@ -386,6 +521,7 @@ func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
 	if wl <= w.wl.Current() {
 		return nil
 	}
+	w.trace.Record(obs.EvRollbackBegin, uint64(wl), uint64(cut.Get(w.cfg.ID)), 0)
 	if err := w.so.Restore(cut.Get(w.cfg.ID)); err != nil {
 		return err
 	}
@@ -404,6 +540,9 @@ func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
 	}
 	w.cutMu.Unlock()
 	w.wl.Advance(wl, cut)
+	w.rollbacksC.Inc()
+	w.trace.Record(obs.EvWorldLineBump, uint64(wl), 0, 0)
+	w.trace.Record(obs.EvRollbackEnd, uint64(wl), uint64(cut.Get(w.cfg.ID)), 0)
 	// Confirm the rollback so recovery coordinators (possibly in another
 	// process) can resume DPR progress once everyone has reported (§4.1).
 	_ = w.meta.AckWorldLine(w.cfg.ID, wl)
@@ -456,6 +595,7 @@ func (w *Worker) reportPersisted() {
 	}
 	w.reported = persisted
 	w.cutMu.Unlock()
+	w.trace.Record(obs.EvCheckpointPersist, uint64(w.wl.Current()), uint64(persisted), 0)
 	for v := from + 1; v <= persisted; v++ {
 		w.depsMu.Lock()
 		var deps []core.Token
@@ -487,9 +627,20 @@ func (w *Worker) refreshState() {
 		return
 	}
 	w.cutMu.Lock()
+	prevSelf := w.cut.Get(w.cfg.ID)
 	w.cut = cut
 	w.vmax = vmax
 	w.cutMu.Unlock()
+	w.refreshedAt.Store(time.Now().UnixNano())
+	if self := cut.Get(w.cfg.ID); self > prevSelf {
+		var max core.Version
+		for _, v := range cut {
+			if v > max {
+				max = v
+			}
+		}
+		w.trace.Record(obs.EvCutAdvance, uint64(wl), uint64(self), uint64(max))
+	}
 	if cur := w.wl.Current(); wl > cur {
 		// The worker may have missed more than one rollback message; like a
 		// lagging session, it must survive the whole chain, so the restore

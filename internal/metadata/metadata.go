@@ -16,10 +16,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"dpr/internal/core"
+	"dpr/internal/obs"
 	"dpr/internal/storage"
 )
 
@@ -100,6 +102,10 @@ type Config struct {
 	Device storage.Device
 	// Blob names the metadata blob on the device (default "dpr-metadata").
 	Blob string
+	// Obs selects the metrics registry (nil: obs.Default); TraceSize the
+	// recovery trace ring capacity (<= 0: obs.DefaultTraceSize).
+	Obs       *obs.Registry
+	TraceSize int
 }
 
 // Store is the in-process metadata service.
@@ -125,6 +131,10 @@ type Store struct {
 	dirty    bool
 	flushing bool
 	flushWG  sync.WaitGroup
+
+	trace       *obs.Trace
+	recoveriesC *obs.Counter
+	reportsC    *obs.Counter
 }
 
 // NewStore builds a metadata store.
@@ -132,13 +142,93 @@ func NewStore(cfg Config) *Store {
 	if cfg.Blob == "" {
 		cfg.Blob = "dpr-metadata"
 	}
-	return &Store{
+	s := &Store{
 		cfg:       cfg,
 		finder:    NewFinder(cfg.Finder),
 		members:   make(map[core.WorkerID]string),
 		ownership: make(map[uint64]core.WorkerID),
 		recovered: make(map[core.WorldLine]core.Cut),
 		acked:     make(map[core.WorkerID]core.WorldLine),
+	}
+	s.registerObs()
+	return s
+}
+
+// registerObs registers the finder's instruments; gauges are callback-backed
+// and cost nothing until scraped.
+func (s *Store) registerObs() {
+	reg := s.cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	s.trace = obs.NewTrace(s.cfg.TraceSize)
+	reg.GaugeFunc("dpr_finder_world_line",
+		"Current world-line assigned by the finder.",
+		func() float64 { return float64(s.WorldLine()) })
+	reg.GaugeFunc("dpr_finder_vmax",
+		"Largest version reported to the finder.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.finder.MaxVersion())
+		})
+	reg.GaugeFunc("dpr_finder_frozen",
+		"1 while DPR progress is frozen for recovery, else 0.",
+		func() float64 {
+			if s.Frozen() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dpr_finder_workers",
+		"Registered cluster members.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.members))
+		})
+	s.recoveriesC = reg.Counter("dpr_finder_recoveries_total",
+		"Recovery rounds begun (world-line bumps).")
+	s.reportsC = reg.Counter("dpr_finder_version_reports_total",
+		"Persisted-version reports received from workers.")
+}
+
+// Trace exposes the finder's recovery trace ring.
+func (s *Store) Trace() *obs.Trace { return s.trace }
+
+// DebugState assembles the finder's /debug/dpr snapshot.
+func (s *Store) DebugState() obs.DPRState {
+	s.mu.Lock()
+	cut := s.finder.CurrentCut()
+	if s.frozen {
+		cut = s.frozenCut.Clone()
+	}
+	vmax := s.finder.MaxVersion()
+	wl := s.worldLine
+	frozen := s.frozen
+	members := make(map[string]string, len(s.members))
+	for w, a := range s.members {
+		members[strconv.FormatUint(uint64(w), 10)] = a
+	}
+	s.mu.Unlock()
+	var max core.Version
+	cutJSON := make(map[string]uint64, len(cut))
+	for w, v := range cut {
+		if v > max {
+			max = v
+		}
+		cutJSON[strconv.FormatUint(uint64(w), 10)] = uint64(v)
+	}
+	return obs.DPRState{
+		Kind:      "finder",
+		WorldLine: uint64(wl),
+		CutMax:    uint64(max),
+		Cut:       cutJSON,
+		Vmax:      uint64(vmax),
+		Frozen:    frozen,
+		Members:   members,
+		Rollbacks: s.recoveriesC.Value(),
+		Trace:     s.trace.Snapshot(),
 	}
 }
 
@@ -180,6 +270,7 @@ func (s *Store) ReportVersion(w core.WorkerID, v core.Version, deps []core.Token
 	}
 	s.finder.Report(w, v, deps)
 	s.persistLocked()
+	s.reportsC.Inc()
 	return nil
 }
 
@@ -283,6 +374,14 @@ func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
 	s.worldLine++
 	s.recovered[s.worldLine] = s.frozenCut.Clone()
 	s.persistLocked()
+	s.recoveriesC.Inc()
+	var max core.Version
+	for _, v := range s.frozenCut {
+		if v > max {
+			max = v
+		}
+	}
+	s.trace.Record(obs.EvRecoveryBegin, uint64(s.worldLine), uint64(max), 0)
 	return s.worldLine, s.frozenCut.Clone()
 }
 
@@ -295,6 +394,7 @@ func (s *Store) CompleteRecovery() {
 	defer s.mu.Unlock()
 	s.frozen = false
 	s.persistLocked()
+	s.trace.Record(obs.EvRecoveryEnd, uint64(s.worldLine), 0, 0)
 }
 
 // CompleteRecoveryFor resumes DPR progress only if wl is still the current
@@ -312,6 +412,7 @@ func (s *Store) CompleteRecoveryFor(wl core.WorldLine) {
 	}
 	s.frozen = false
 	s.persistLocked()
+	s.trace.Record(obs.EvRecoveryEnd, uint64(wl), 0, 0)
 }
 
 // Frozen reports whether recovery is in progress.

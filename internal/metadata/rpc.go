@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dpr/internal/core"
+	"dpr/internal/obs"
 )
 
 // This file exposes the metadata Service over the network (net/rpc with gob
@@ -211,7 +212,16 @@ func (c *RPCClient) Close() error {
 	return c.c.Close()
 }
 
+// metaRTT times every metadata RPC round trip; the finder sits off the
+// critical path, but a slow metadata database widens the commit latency the
+// client observes (the paper's Fig 13 sensitivity), so the RTT is always
+// measured.
+var metaRTT = obs.Default.Histogram("dpr_meta_rtt_seconds",
+	"Round-trip time of metadata RPC calls (reports, state polls, ownership).")
+
 func (c *RPCClient) call(method string, args, reply any) error {
+	start := time.Now()
+	defer func() { metaRTT.Observe(time.Since(start)) }()
 	c.mu.Lock()
 	cl := c.c
 	c.mu.Unlock()

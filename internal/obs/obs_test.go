@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dpr_test_total", "help", L("worker", "1"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	g := r.Gauge("dpr_test_gauge", "help")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge %d", g.Value())
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dpr_x_total", "help", L("worker", "1"))
+	b := r.Counter("dpr_x_total", "other help ignored", L("worker", "1"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same instrument")
+	}
+	c := r.Counter("dpr_x_total", "help", L("worker", "2"))
+	if a == c {
+		t.Fatal("different labels must return a different series")
+	}
+	// Label order must not matter.
+	d := r.Gauge("dpr_y", "help", L("a", "1"), L("b", "2"))
+	e := r.Gauge("dpr_y", "help", L("b", "2"), L("a", "1"))
+	if d != e {
+		t.Fatal("label order must not create a new series")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dpr_clash", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dpr_clash", "help")
+}
+
+func TestGaugeFuncRebind(t *testing.T) {
+	r := NewRegistry()
+	g := r.GaugeFunc("dpr_wl", "help", func() float64 { return 1 }, L("worker", "3"))
+	if g.Value() != 1 {
+		t.Fatalf("value %g", g.Value())
+	}
+	// A restarted worker re-registers the same series; the callback must now
+	// read the new incarnation's state.
+	g2 := r.GaugeFunc("dpr_wl", "help", func() float64 { return 2 }, L("worker", "3"))
+	if g2 != g {
+		t.Fatal("rebind must reuse the series")
+	}
+	if g.Value() != 2 {
+		t.Fatalf("rebound value %g", g.Value())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dpr_ops_total", "Operations.", L("worker", "1")).Add(3)
+	r.Gauge("dpr_lag", "Cut lag.").Set(-2)
+	r.GaugeFunc("dpr_wl", "World line.", func() float64 { return 4 })
+	h := r.Histogram("dpr_lat_seconds", "Latency.", L("worker", "1"))
+	h.Observe(1500 * time.Microsecond)
+	h.Observe(1500 * time.Microsecond)
+	v := r.ValueHistogram("dpr_batch_ops", "Batch sizes.")
+	v.ObserveValue(16)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP dpr_ops_total Operations.",
+		"# TYPE dpr_ops_total counter",
+		`dpr_ops_total{worker="1"} 3`,
+		"# TYPE dpr_lag gauge",
+		"dpr_lag -2",
+		"dpr_wl 4",
+		"# TYPE dpr_lat_seconds histogram",
+		`dpr_lat_seconds_bucket{worker="1",le="+Inf"} 2`,
+		`dpr_lat_seconds_count{worker="1"} 2`,
+		`dpr_lat_seconds_sum{worker="1"} 0.003`,
+		`dpr_batch_ops_bucket{le="+Inf"} 1`,
+		"dpr_batch_ops_sum 16",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the finite le bucket for the two 1.5ms samples must
+	// also report 2 and carry a seconds-scale bound (between 1ms and 2ms).
+	if !strings.Contains(out, `le="0.0015`) && !strings.Contains(out, `le="0.0016`) {
+		t.Fatalf("expected a ~1.5ms le bound in:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dpr_esc_total", "help", L("path", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `dpr_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped series %q missing in:\n%s", want, sb.String())
+	}
+}
+
+func TestTraceWrapOrdering(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 1; i <= 20; i++ {
+		tr.Record(EvCutAdvance, 1, uint64(i), 0)
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	events := tr.Snapshot()
+	if len(events) != 8 {
+		t.Fatalf("snapshot length %d, want ring size 8", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(13 + i); e.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d (oldest-first after wrap)", i, e.Seq, want)
+		}
+		if e.Kind != "cut_advance" {
+			t.Fatalf("kind %q", e.Kind)
+		}
+	}
+}
+
+func TestTraceNil(t *testing.T) {
+	var tr *Trace
+	tr.Record(EvRollbackBegin, 1, 2, 3) // must not panic
+	if tr.Len() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Record(EvCheckpointPersist, uint64(g), uint64(i), 0)
+				}
+			}
+		}(g)
+	}
+	// Concurrent snapshots must never observe torn slots: every returned
+	// event has a valid kind and strictly increasing seqs.
+	for i := 0; i < 200; i++ {
+		events := tr.Snapshot()
+		var prev uint64
+		for _, e := range events {
+			if e.Seq <= prev {
+				t.Errorf("non-monotone seq %d after %d", e.Seq, prev)
+			}
+			prev = e.Seq
+			if e.Kind != "checkpoint_persist" {
+				t.Errorf("torn slot surfaced: kind %q", e.Kind)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The recording path must be allocation-free: that is the contract that lets
+// instruments sit on the 0 allocs/op batch hot path.
+func TestRecordingAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dpr_allocs_total", "help")
+	g := r.Gauge("dpr_allocs_gauge", "help")
+	h := r.Histogram("dpr_allocs_seconds", "help")
+	tr := NewTrace(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(9)
+		g.Add(-1)
+		h.Observe(5 * time.Microsecond)
+		h.ObserveValue(17)
+		tr.Record(EvCutAdvance, 1, 2, 3)
+	}); n != 0 {
+		t.Fatalf("recording allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// Race hammer: concurrent recording against scrapes and snapshots. Run under
+// -race in CI; also asserts nothing explodes.
+func TestConcurrentRecordingAndScraping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dpr_hammer_total", "help", L("worker", "1"))
+	h := r.Histogram("dpr_hammer_seconds", "help", L("worker", "1"))
+	tr := NewTrace(32)
+	r.GaugeFunc("dpr_hammer_wl", "help", func() float64 { return float64(c.Value()) })
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(time.Duration(i%100+1) * time.Microsecond)
+					tr.Record(EvCheckpointBegin, 1, uint64(i), 0)
+				}
+			}
+		}()
+	}
+	// Late registration races get-or-create against recording.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			r.Counter("dpr_hammer_total", "help", L("worker", "1")).Inc()
+			r.Gauge("dpr_hammer_extra", "help").Set(int64(i))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		_ = tr.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the per-process HTTP introspection endpoint:
+//
+//	/metrics     Prometheus text exposition of a Registry
+//	/debug/dpr   JSON DPRState snapshot (live protocol view + trace ring)
+//	/debug/pprof the standard net/http/pprof handlers
+//
+// It binds its own listener and mux (never http.DefaultServeMux), so
+// multiple workers in one process — or one worker per process — each get an
+// isolated endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer serves the registry (nil selects Default) and snapshot
+// callback (nil disables /debug/dpr) on addr. Use port :0 to bind an
+// ephemeral port and read it back with Addr.
+func StartServer(addr string, reg *Registry, snapshot func() any) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	if snapshot != nil {
+		mux.HandleFunc("/debug/dpr", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snapshot())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

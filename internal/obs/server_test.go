@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dpr_srv_total", "help", L("worker", "9")).Add(2)
+	tr := NewTrace(8)
+	tr.Record(EvWorldLineBump, 2, 0, 0)
+	snapshot := func() any {
+		return DPRState{Worker: 9, Kind: "dfaster", WorldLine: 2, Trace: tr.Snapshot()}
+	}
+	s, err := StartServer("127.0.0.1:0", r, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Fatalf("metrics content type %q", ctype)
+	}
+	if !strings.Contains(metrics, `dpr_srv_total{worker="9"} 2`) {
+		t.Fatalf("metrics body:\n%s", metrics)
+	}
+
+	debug, ctype := get("/debug/dpr")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("debug content type %q", ctype)
+	}
+	var st DPRState
+	if err := json.Unmarshal([]byte(debug), &st); err != nil {
+		t.Fatalf("decode /debug/dpr: %v\n%s", err, debug)
+	}
+	if st.Worker != 9 || st.Kind != "dfaster" || st.WorldLine != 2 {
+		t.Fatalf("snapshot: %+v", st)
+	}
+	if len(st.Trace) != 1 || st.Trace[0].Kind != "world_line_bump" {
+		t.Fatalf("trace: %+v", st.Trace)
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestServerNoSnapshot(t *testing.T) {
+	s, err := StartServer("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/debug/dpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expected 404 without a snapshot callback, got %s", resp.Status)
+	}
+}

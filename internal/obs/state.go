@@ -1,0 +1,44 @@
+package obs
+
+// DPRState is the JSON document served on /debug/dpr: one worker's (or the
+// finder's) live view of the DPR protocol, plus its recent trace. Fields a
+// component does not track are zero and omitted where tagged. dpr-cli's
+// `obs` subcommand decodes this to render the one-screen cluster view, and
+// the chaos harness dumps it next to a failing seed.
+type DPRState struct {
+	Worker uint64 `json:"worker,omitempty"`
+	// Kind is the serving stack flavor: "dfaster", "dredis", or "finder".
+	Kind      string `json:"kind"`
+	WorldLine uint64 `json:"world_line"`
+	// CurrentVersion is the version new operations execute in.
+	CurrentVersion uint64 `json:"current_version,omitempty"`
+	// PersistedVersion is the newest locally durable version.
+	PersistedVersion uint64 `json:"persisted_version,omitempty"`
+	// CommittedVersion is this worker's position in its view of the DPR cut.
+	CommittedVersion uint64 `json:"committed_version,omitempty"`
+	// CutMax is the largest position in the cut (the fastest worker);
+	// CutLag is CutMax - CommittedVersion, how far this worker trails it.
+	CutMax uint64 `json:"cut_max,omitempty"`
+	CutLag uint64 `json:"cut_lag,omitempty"`
+	// Cut is the full cut view, keyed by decimal worker id.
+	Cut map[string]uint64 `json:"cut,omitempty"`
+	// Vmax is the finder's largest reported version (finder only).
+	Vmax uint64 `json:"vmax,omitempty"`
+	// Frozen reports whether DPR progress is halted for recovery (finder).
+	Frozen bool `json:"frozen,omitempty"`
+	// Members is the membership table (finder only).
+	Members map[string]string `json:"members,omitempty"`
+
+	Sessions        int    `json:"sessions,omitempty"`
+	OwnedPartitions int    `json:"owned_partitions,omitempty"`
+	Rollbacks       uint64 `json:"rollbacks,omitempty"`
+	RejectedBatches uint64 `json:"rejected_batches,omitempty"`
+	StaleBatches    uint64 `json:"stale_batches,omitempty"`
+	Batches         uint64 `json:"batches,omitempty"`
+	Ops             uint64 `json:"ops,omitempty"`
+	// RefreshAgeSeconds is the time since the worker last refreshed the cut
+	// and world-line from the finder.
+	RefreshAgeSeconds float64 `json:"refresh_age_seconds,omitempty"`
+
+	Trace []Event `json:"trace,omitempty"`
+}

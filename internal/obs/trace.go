@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind tags a version-lifecycle or recovery trace event.
+// The (WL, Version, Aux) payload fields mean, per kind:
+//
+//	CheckpointBegin    wl, target version, 0
+//	CheckpointPersist  wl, persisted version, 0
+//	CutAdvance         wl, own cut position, global max cut position
+//	WorldLineBump      new wl, 0, 0
+//	RollbackBegin      target wl, restore position, 0
+//	RollbackEnd        target wl, restore position, 0
+//	RecoveryBegin      new wl, max position of the recovery cut, 0
+//	RecoveryEnd        wl, 0, 0
+//	BatchRejected      worker wl, batch wl, 0
+//	BatchStale         session id, fence seq, batch start seq
+type EventKind uint8
+
+// Event kinds recorded by the serving stack.
+const (
+	EvNone EventKind = iota
+	EvCheckpointBegin
+	EvCheckpointPersist
+	EvCutAdvance
+	EvWorldLineBump
+	EvRollbackBegin
+	EvRollbackEnd
+	EvRecoveryBegin
+	EvRecoveryEnd
+	EvBatchRejected
+	EvBatchStale
+)
+
+var eventKindNames = [...]string{
+	EvNone:              "none",
+	EvCheckpointBegin:   "checkpoint_begin",
+	EvCheckpointPersist: "checkpoint_persist",
+	EvCutAdvance:        "cut_advance",
+	EvWorldLineBump:     "world_line_bump",
+	EvRollbackBegin:     "rollback_begin",
+	EvRollbackEnd:       "rollback_end",
+	EvRecoveryBegin:     "recovery_begin",
+	EvRecoveryEnd:       "recovery_end",
+	EvBatchRejected:     "batch_rejected",
+	EvBatchStale:        "batch_stale",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one decoded trace entry.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"`
+	Kind    string    `json:"kind"`
+	WL      uint64    `json:"wl"`
+	Version uint64    `json:"version"`
+	Aux     uint64    `json:"aux,omitempty"`
+}
+
+// traceSlot is one ring entry. Every field is individually atomic and the
+// seq field doubles as a validity stamp (0 while a write is in progress), so
+// concurrent Record and Snapshot are race-free without a lock and a torn
+// slot is detected and skipped rather than misreported.
+type traceSlot struct {
+	seq  atomic.Uint64
+	at   atomic.Int64
+	kind atomic.Uint64
+	wl   atomic.Uint64
+	ver  atomic.Uint64
+	aux  atomic.Uint64
+}
+
+// Trace is a fixed-size lock-free ring of lifecycle events. Recording costs
+// a handful of atomic stores and never allocates; when nothing happens,
+// nothing is spent. A nil *Trace is valid and records nothing.
+type Trace struct {
+	slots  []traceSlot
+	mask   uint64
+	cursor atomic.Uint64
+}
+
+// DefaultTraceSize is the per-worker ring capacity (events).
+const DefaultTraceSize = 256
+
+// NewTrace returns a ring holding size events (rounded up to a power of
+// two; <= 0 selects DefaultTraceSize).
+func NewTrace(size int) *Trace {
+	if size <= 0 {
+		size = DefaultTraceSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Trace{slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+func (t *Trace) Record(kind EventKind, wl, version, aux uint64) {
+	if t == nil {
+		return
+	}
+	seq := t.cursor.Add(1) // 1-based, unique per event
+	s := &t.slots[(seq-1)&t.mask]
+	s.seq.Store(0) // invalidate while writing
+	s.at.Store(time.Now().UnixNano())
+	s.kind.Store(uint64(kind))
+	s.wl.Store(wl)
+	s.ver.Store(version)
+	s.aux.Store(aux)
+	s.seq.Store(seq)
+}
+
+// Len returns the number of events ever recorded.
+func (t *Trace) Len() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.cursor.Load()
+}
+
+// Snapshot decodes the ring's current contents, oldest first. Slots being
+// concurrently rewritten are skipped (their seq stamp is 0 or changes
+// between the pre- and post-read check).
+func (t *Trace) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		e := Event{
+			Seq:     seq,
+			At:      time.Unix(0, s.at.Load()),
+			Kind:    EventKind(s.kind.Load()).String(),
+			WL:      s.wl.Load(),
+			Version: s.ver.Load(),
+			Aux:     s.aux.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue // torn: a writer lapped us mid-slot
+		}
+		out = append(out, e)
+	}
+	sortEventsBySeq(out)
+	return out
+}
+
+func sortEventsBySeq(es []Event) {
+	// Insertion sort: rings are small and nearly sorted (two runs).
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].Seq > es[j].Seq; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}

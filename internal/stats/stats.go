@@ -15,10 +15,14 @@ import (
 	"time"
 )
 
+// NumBuckets is the fixed bucket count of a Histogram: 64 powers of two of
+// microseconds, 8 sub-buckets each.
+const NumBuckets = 512
+
 // Histogram is a concurrent log-bucketed latency histogram covering
 // [1µs, ~17min] with ~4% relative error.
 type Histogram struct {
-	buckets [512]atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Uint64 // microseconds
 	max     atomic.Uint64 // microseconds
@@ -64,6 +68,14 @@ func bucketLower(b int) time.Duration {
 	return time.Duration(us) * time.Microsecond
 }
 
+// BucketLower returns the inclusive lower bound of bucket i.
+func BucketLower(i int) time.Duration { return bucketLower(i) }
+
+// BucketUpper returns the exclusive upper bound of bucket i (the lower bound
+// of bucket i+1); the last bucket is unbounded and reported as the lower
+// bound of a hypothetical next bucket.
+func BucketUpper(i int) time.Duration { return bucketLower(i + 1) }
+
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
 	h.buckets[bucketOf(d)].Add(1)
@@ -95,24 +107,73 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(h.max.Load()) * time.Microsecond
 }
 
-// Percentile returns the p'th percentile (0 < p <= 100).
-func (h *Histogram) Percentile(p float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
+// HistogramSnapshot is a point-in-time copy of a Histogram's state, the
+// shared currency of the bench harness (percentiles, CDFs) and the obs
+// exposition path (Prometheus histograms, merged per-worker views). Sum and
+// Max are in microseconds, like the histogram's internal accounting.
+type HistogramSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Snapshot copies the histogram's current state. Concurrent recording may
+// leave Count and the bucket sum transiently off by in-flight samples; for
+// exposition, derive totals from Buckets so bucket counts stay internally
+// consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for b := range h.buckets {
+		s.Buckets[b] = h.buckets[b].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Merge folds a snapshot into h (per-bucket addition, max of maxes), so
+// per-client or per-worker histograms can be aggregated into one view.
+func (h *Histogram) Merge(s *HistogramSnapshot) {
+	for b := range s.Buckets {
+		if s.Buckets[b] > 0 {
+			h.buckets[b].Add(s.Buckets[b])
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+}
+
+// Percentile returns the p'th percentile of the snapshot (0 < p <= 100).
+func (s *HistogramSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
 		return 0
 	}
-	target := uint64(math.Ceil(float64(total) * p / 100))
+	target := uint64(math.Ceil(float64(s.Count) * p / 100))
 	if target == 0 {
 		target = 1
 	}
 	var cum uint64
-	for b := range h.buckets {
-		cum += h.buckets[b].Load()
+	for b := range s.Buckets {
+		cum += s.Buckets[b]
 		if cum >= target {
 			return bucketLower(b)
 		}
 	}
-	return h.Max()
+	return time.Duration(s.Max) * time.Microsecond
+}
+
+// Percentile returns the p'th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	s := h.Snapshot()
+	return s.Percentile(p)
 }
 
 // Summary renders mean/p50/p99/p999/max on one line.
@@ -125,9 +186,15 @@ func (h *Histogram) Summary() string {
 // Distribution returns (lowerBound, count) pairs for non-empty buckets, for
 // rendering latency CDFs like Figures 12 and 18.
 func (h *Histogram) Distribution() []BucketCount {
+	s := h.Snapshot()
+	return s.Distribution()
+}
+
+// Distribution returns (lowerBound, count) pairs for non-empty buckets.
+func (s *HistogramSnapshot) Distribution() []BucketCount {
 	var out []BucketCount
-	for b := range h.buckets {
-		if c := h.buckets[b].Load(); c > 0 {
+	for b := range s.Buckets {
+		if c := s.Buckets[b]; c > 0 {
 			out = append(out, BucketCount{Lower: bucketLower(b), Count: c})
 		}
 	}

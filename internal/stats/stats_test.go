@@ -124,6 +124,123 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+func TestSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	for i, b := range s.Buckets {
+		if b != 0 {
+			t.Fatalf("bucket %d nonzero in empty snapshot", i)
+		}
+	}
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty snapshot percentile must be 0")
+	}
+	// Merging an empty snapshot into an empty histogram stays empty.
+	var h2 Histogram
+	h2.Merge(&s)
+	if h2.Count() != 0 || h2.Max() != 0 {
+		t.Fatalf("merge of empty snapshot mutated histogram: n=%d max=%v", h2.Count(), h2.Max())
+	}
+}
+
+func TestSnapshotMatchesHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("snapshot count %d", s.Count)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got, want := s.Percentile(p), h.Percentile(p); got != want {
+			t.Fatalf("p%g: snapshot %v != histogram %v", p, got, want)
+		}
+	}
+}
+
+// Bucket boundaries: a sample exactly on a bucket's lower bound lands in that
+// bucket, and BucketLower/BucketUpper tile the range with no gaps.
+func TestSnapshotBucketBoundaries(t *testing.T) {
+	for b := 0; b < NumBuckets-1; b++ {
+		if BucketUpper(b) != BucketLower(b+1) {
+			t.Fatalf("gap between bucket %d upper (%v) and %d lower (%v)",
+				b, BucketUpper(b), b+1, BucketLower(b+1))
+		}
+	}
+	// Sub-buckets only become distinct at exp >= 3 (8µs); below that the
+	// fractional lower bounds collapse onto the power of two, so test bucket
+	// 0 and distinct buckets from 8µs upward.
+	for _, b := range []int{0, 24, 31, 32, 100, 255} {
+		var h Histogram
+		h.Record(BucketLower(b))
+		s := h.Snapshot()
+		if s.Buckets[b] != 1 {
+			got := -1
+			for i, c := range s.Buckets {
+				if c != 0 {
+					got = i
+				}
+			}
+			t.Fatalf("sample at lower bound of bucket %d (%v) landed in bucket %d",
+				b, BucketLower(b), got)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		b.Record(time.Second)
+	}
+	sb := b.Snapshot()
+	a.Merge(&sb)
+	if a.Count() != 150 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Max() != time.Second {
+		t.Fatalf("merged max %v", a.Max())
+	}
+	m := a.Snapshot()
+	var total uint64
+	for _, c := range m.Buckets {
+		total += c
+	}
+	if total != 150 {
+		t.Fatalf("merged bucket total %d", total)
+	}
+	// Merge keeps the larger max when the receiver already dominates.
+	var c Histogram
+	c.Record(time.Minute)
+	sa := a.Snapshot()
+	c.Merge(&sa)
+	if c.Max() != time.Minute {
+		t.Fatalf("max regressed on merge: %v", c.Max())
+	}
+	// Percentiles of the merged histogram reflect both populations.
+	p30 := m.Percentile(30)
+	if p30 > 2*time.Millisecond {
+		t.Fatalf("p30 %v, want ~1ms (100 of 150 samples)", p30)
+	}
+	p90 := m.Percentile(90)
+	if p90 < 500*time.Millisecond {
+		t.Fatalf("p90 %v, want ~1s (top 50 samples)", p90)
+	}
+}
+
 func TestTimeSeries(t *testing.T) {
 	var ops Counter
 	ts := NewTimeSeries(10*time.Millisecond, []string{"ops"}, []*Counter{&ops})
