@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build vet dpr-vet test race fuzz bench
+
+# The full pre-commit gate, in the order CI runs it.
+check: build vet dpr-vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own static-analysis suite: atomic/mutex discipline,
+# //dpr:noalloc escape gating, cut/world-line tagging, decoder bounds.
+dpr-vet:
+	$(GO) run ./cmd/dpr-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Replay the checked-in decoder corpus and mutate for a few seconds per
+# target, mirroring the CI fuzz job.
+fuzz:
+	for target in FuzzDecodeBatchRequest FuzzDecodeBatchReply FuzzDecodeError; do \
+		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$target\$$" -fuzztime 10s || exit 1; \
+	done
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...

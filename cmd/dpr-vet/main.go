@@ -1,0 +1,100 @@
+// Command dpr-vet runs the DPR static-analysis suite (internal/analysis)
+// over the module: atomic access discipline, mutex release/ordering,
+// //dpr:noalloc hot-path escape gating, cut/world-line pairing, and alias
+// decoder bounds checks. It exits non-zero when any diagnostic survives the
+// //dpr:ignore suppressions, so it can gate CI exactly like the compiler.
+//
+// Usage:
+//
+//	go run ./cmd/dpr-vet ./...            # whole module
+//	go run ./cmd/dpr-vet ./internal/wire  # restrict reporting to a subtree
+//	go run ./cmd/dpr-vet -checks mutex-discipline,decode-bounds ./...
+//	go run ./cmd/dpr-vet -tests ./...     # include in-package _test.go files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpr/internal/analysis"
+)
+
+func main() {
+	var (
+		checksFlag = flag.String("checks", "", "comma-separated checker names to run (default: all)")
+		tests      = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		list       = flag.Bool("list", false, "list checker names and exit")
+	)
+	flag.Parse()
+
+	all := analysis.DefaultCheckers()
+	if *list {
+		for _, c := range all {
+			fmt.Println(c.Name())
+		}
+		return
+	}
+	checkers := all
+	if *checksFlag != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*checksFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		checkers = nil
+		for _, c := range all {
+			if want[c.Name()] {
+				checkers = append(checkers, c)
+				delete(want, c.Name())
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "dpr-vet: unknown checker %q (use -list)\n", n)
+			os.Exit(2)
+		}
+	}
+
+	dir := "."
+	var restrict []string
+	for _, arg := range flag.Args() {
+		clean := strings.TrimSuffix(arg, "...")
+		clean = strings.TrimSuffix(clean, "/")
+		if clean == "." || clean == "" {
+			continue // ./... — whole module, no restriction
+		}
+		abs, err := filepath.Abs(clean)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpr-vet: %v\n", err)
+			os.Exit(2)
+		}
+		restrict = append(restrict, abs)
+	}
+
+	u, err := analysis.Load(analysis.LoadConfig{Dir: dir, IncludeTests: *tests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpr-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(u, checkers)
+	if len(restrict) > 0 {
+		kept := diags[:0]
+		for _, d := range diags {
+			for _, r := range restrict {
+				if d.Pos.Filename == r || strings.HasPrefix(d.Pos.Filename, r+string(filepath.Separator)) {
+					kept = append(kept, d)
+					break
+				}
+			}
+		}
+		diags = kept
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dpr-vet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

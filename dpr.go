@@ -193,10 +193,12 @@ func (c *Cluster) Worker(i int) *dfaster.Worker { return c.workers[i] }
 // Metadata exposes the metadata/DPR-finder service.
 func (c *Cluster) Metadata() *metadata.Store { return c.meta }
 
-// CurrentCut returns the latest DPR cut.
-func (c *Cluster) CurrentCut() Cut {
-	cut, _, _, _ := c.meta.State()
-	return cut
+// CurrentCut returns the latest DPR cut together with the world-line it was
+// observed on. Versions restart across world-lines, so a cut compared or
+// cached without its world-line can silently cross a recovery boundary.
+func (c *Cluster) CurrentCut() (Cut, WorldLine) {
+	cut, _, wl, _ := c.meta.State()
+	return cut, wl
 }
 
 // InjectFailure simulates a worker failure (as §7.4 does): the cluster

@@ -33,7 +33,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err := s.WaitAllCommitted(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if cut := c.CurrentCut(); len(cut) == 0 {
+	if cut, _ := c.CurrentCut(); len(cut) == 0 {
 		t.Fatal("cut must be non-empty after commits")
 	}
 }

@@ -58,7 +58,8 @@ func main() {
 		log.Fatal(err)
 	}
 	p, _ = session.Committed()
-	fmt.Printf("after WaitAllCommitted: %d ops durable; DPR cut = %v\n", p, cluster.CurrentCut())
+	cut, wl := cluster.CurrentCut()
+	fmt.Printf("after WaitAllCommitted: %d ops durable; DPR cut = %v (world-line %d)\n", p, cut, wl)
 
 	// 4. Failures roll the cluster back to the last cut and tell each
 	// session exactly which prefix survived.

@@ -138,6 +138,7 @@ func main() {
 	}
 	fmt.Printf("dashboard (committed): %s — aggregates and all %d contributing points are durable\n",
 		v, devices*pointsPerDevice)
-	fmt.Printf("final DPR cut: %v\n", cluster.CurrentCut())
+	cut, wl := cluster.CurrentCut()
+	fmt.Printf("final DPR cut: %v (world-line %d)\n", cut, wl)
 	fmt.Println("telemetry example OK")
 }

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicChecker enforces atomic access discipline: a struct field accessed
+// through sync/atomic anywhere must be accessed atomically everywhere.
+//
+//   - Fields passed by address to the sync/atomic free functions
+//     (atomic.LoadUint64(&s.f), atomic.AddInt64(&s.f, 1), ...) are "atomic
+//     fields"; any plain read or write of the same field object elsewhere in
+//     the module is flagged — the mixed-access bug class where one goroutine
+//     publishes with a store-release and another reads with a torn plain
+//     load.
+//   - Fields of the typed atomic wrappers (atomic.Uint64, atomic.Pointer[T],
+//     ...) can only be accessed through their methods; copying the wrapper
+//     value out of (or into) the field smuggles a plain read/write past the
+//     API and is flagged.
+//
+// Composite-literal keys are exempt: zero-value construction before the
+// value is published is the one sanctioned plain "write".
+type AtomicChecker struct{}
+
+func (*AtomicChecker) Name() string { return "atomic-discipline" }
+
+// atomicFuncs are the sync/atomic free functions whose first argument is the
+// address being operated on.
+var atomicFuncPrefixes = []string{
+	"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And",
+}
+
+func isAtomicFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's method-based
+// wrapper types.
+func isTypedAtomic(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+func (c *AtomicChecker) Run(u *Unit) []Diagnostic {
+	// Pass A: find fields used via sync/atomic free functions, and remember
+	// the exact &x.f sites so pass B does not flag them.
+	atomicFields := make(map[types.Object][]token.Pos) // field -> first atomic sites
+	atomicUseSites := make(map[ast.Expr]bool)          // the SelectorExpr/Ident under &
+	u.EachFile(func(p *Package, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isAtomicFunc(p.Info.Uses[sel.Sel]) {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			if fld := fieldObject(p.Info, un.X); fld != nil {
+				atomicFields[fld] = append(atomicFields[fld], un.X.Pos())
+				atomicUseSites[un.X] = true
+			}
+			return true
+		})
+	})
+	var diags []Diagnostic
+	// Pass B: every other use of those field objects is a plain access.
+	u.EachFile(func(p *Package, f *ast.File) {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				fv, ok := p.Info.Uses[e.Sel].(*types.Var)
+				if !ok || !fv.IsField() {
+					return true
+				}
+				var fld types.Object = fv
+				if sites, ok := atomicFields[fld]; ok && !atomicUseSites[ast.Expr(e)] {
+					if !insideAtomicAddr(stack) && !compositeLitKey(stack, e) {
+						diags = append(diags, Diagnostic{
+							Pos:   u.Position(e.Pos()),
+							Check: c.Name(),
+							Message: fmt.Sprintf(
+								"plain access to field %s.%s, which is accessed with sync/atomic at %s; all accesses must be atomic",
+								ownerName(fld), fld.Name(), u.Position(sites[0])),
+						})
+					}
+				}
+				// Typed atomic wrappers: flag value copies of the field.
+				if v, ok := fld.(*types.Var); ok && isTypedAtomic(v.Type()) {
+					if d := c.typedAtomicMisuse(u, p, stack, e, v); d != nil {
+						diags = append(diags, *d)
+					}
+				}
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// fieldObject resolves expr to a struct field object (x.f or bare f inside a
+// method via the implicit receiver is not resolved — only selector forms).
+func fieldObject(info *types.Info, expr ast.Expr) types.Object {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[sel.Sel]
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// ownerName renders the declaring struct of a field as pkg.Type when
+// recoverable, else the package name.
+func ownerName(fld types.Object) string {
+	if fld.Pkg() == nil {
+		return "?"
+	}
+	return pkgShortName(fld.Pkg())
+}
+
+// insideAtomicAddr reports whether the innermost enclosing expression chain
+// is &<expr> passed directly to a sync/atomic call — already validated in
+// pass A, approximated here by any enclosing unary & (taking the address of
+// an atomic field for any other purpose is flagged by the typed rules below,
+// and &f is not itself a data race).
+func insideAtomicAddr(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0 && i >= len(stack)-4; i-- {
+		if un, ok := stack[i].(*ast.UnaryExpr); ok && un.Op == token.AND {
+			return true
+		}
+	}
+	return false
+}
+
+// compositeLitKey reports whether sel is the key of a composite literal
+// element (Foo{f: 0}) — construction, not access.
+func compositeLitKey(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	if kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr); ok && kv.Key == ast.Expr(sel) {
+		return true
+	}
+	return false
+}
+
+// typedAtomicMisuse flags uses of a typed-atomic field other than method
+// calls on it, taking its address, or selecting through it.
+func (c *AtomicChecker) typedAtomicMisuse(u *Unit, p *Package, stack []ast.Node, e *ast.SelectorExpr, v *types.Var) *Diagnostic {
+	if len(stack) < 2 {
+		return nil
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		if parent.X == ast.Expr(e) {
+			return nil // x.f.Load() — method access through the wrapper
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			return nil // &x.f — pointer to the wrapper, races stay impossible
+		}
+	case *ast.KeyValueExpr:
+		if parent.Key == ast.Expr(e) {
+			return nil // composite literal key
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == ast.Expr(e) {
+				return &Diagnostic{
+					Pos:   u.Position(e.Pos()),
+					Check: c.Name(),
+					Message: fmt.Sprintf("assignment overwrites atomic field %s (%s) with a plain store; use its methods",
+						e.Sel.Name, v.Type()),
+				}
+			}
+		}
+	}
+	// Any remaining context reads the wrapper by value: a copy that strips
+	// atomicity (and trips the embedded noCopy sentinel only under vet).
+	return &Diagnostic{
+		Pos:   u.Position(e.Pos()),
+		Check: c.Name(),
+		Message: fmt.Sprintf("field %s (%s) copied by value; atomic wrappers must be used via their methods",
+			e.Sel.Name, v.Type()),
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DecodeBoundsChecker guards the alias decoders: every Decode*Into function
+// (and every method of a type whose name contains "decoder") must perform a
+// length/capacity comparison against a buffer before slicing or indexing
+// it. The decoders alias untrusted wire payloads — a subslice without a
+// dominating bounds comparison is either a panic on a truncated frame or,
+// worse, silent acceptance of a corrupt one (the PR 1 decode-allocation-bomb
+// bug class).
+//
+// The analysis is syntactic within a function: a byte-slice operand may be
+// sliced/indexed at position P only if some comparison mentioning len(X) or
+// cap(X) for the same operand X appears earlier in the function. That is the
+// shape every legitimate decoder in the repo already has (the check, then
+// the slice).
+type DecodeBoundsChecker struct{}
+
+func (*DecodeBoundsChecker) Name() string { return "decode-bounds" }
+
+func (c *DecodeBoundsChecker) Run(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, fs := range declaredFuncs(u) {
+		if !c.inScope(fs) {
+			continue
+		}
+		diags = append(diags, c.checkFunc(u, fs)...)
+	}
+	return diags
+}
+
+// inScope selects alias-decoder functions: Decode*Into by name, plus all
+// methods of decoder-named types.
+func (c *DecodeBoundsChecker) inScope(fs funcSpan) bool {
+	name := fs.decl.Name.Name
+	if strings.HasPrefix(name, "Decode") && strings.HasSuffix(name, "Into") {
+		return true
+	}
+	if fs.decl.Recv != nil && len(fs.decl.Recv.List) == 1 {
+		rt := exprString(fs.decl.Recv.List[0].Type)
+		rt = strings.TrimPrefix(rt, "*")
+		if strings.Contains(strings.ToLower(rt), "decoder") {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *DecodeBoundsChecker) checkFunc(u *Unit, fs funcSpan) []Diagnostic {
+	info := fs.pkg.Info
+	// Gather bounds comparisons: positions of len(X)/cap(X) inside a
+	// comparison, keyed by the rendered operand X.
+	guardPos := map[string][]token.Pos{}
+	ast.Inspect(fs.decl.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || (id.Name != "len" && id.Name != "cap") {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				key := exprString(call.Args[0])
+				guardPos[key] = append(guardPos[key], be.Pos())
+				return true
+			})
+		}
+		return true
+	})
+	guardedBefore := func(key string, pos token.Pos) bool {
+		for _, g := range guardPos[key] {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+	var diags []Diagnostic
+	ast.Inspect(fs.decl.Body, func(n ast.Node) bool {
+		var target ast.Expr
+		var what string
+		switch e := n.(type) {
+		case *ast.SliceExpr:
+			target, what = e.X, "subslice"
+		case *ast.IndexExpr:
+			target, what = e.X, "index"
+		default:
+			return true
+		}
+		if !isByteSlice(info.TypeOf(target)) {
+			return true
+		}
+		key := exprString(target)
+		if guardedBefore(key, n.Pos()) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   u.Position(n.Pos()),
+			Check: c.Name(),
+			Message: fmt.Sprintf("%s of %s in alias decoder %s without a prior len/cap bounds comparison on %s",
+				what, key, fs.name, key),
+		})
+		return true
+	})
+	return diags
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

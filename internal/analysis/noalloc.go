@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NoAllocChecker enforces //dpr:noalloc: functions whose doc comment carries
+// the directive are the pinned allocation-free hot paths (serve, encode,
+// decode). The checker compiles the packages containing annotations with
+//
+//	go build -gcflags=-m=2
+//
+// and fails on every escape-analysis finding ("escapes to heap" / "moved to
+// heap") inside an annotated function's body. Unlike the runtime
+// testing.AllocsPerRun guards, this catches a new heap escape at compile
+// time, names the offending line, and does not depend on which branch a
+// benchmark happens to execute. Deliberate cold-path allocations (error
+// construction, buffer growth to the high-water mark) are suppressed inline
+// with //dpr:ignore and a justification.
+//
+// The go command replays cached compiler diagnostics, so repeated runs cost
+// a cache probe, not a rebuild.
+type NoAllocChecker struct{}
+
+func (*NoAllocChecker) Name() string { return "hotpath-noalloc" }
+
+const noAllocDirective = "dpr:noalloc"
+
+// escapeLine matches "path:line:col: message" compiler diagnostics.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+func (c *NoAllocChecker) Run(u *Unit) []Diagnostic {
+	spans, pkgDirs := c.annotatedFuncs(u)
+	if len(spans) == 0 {
+		return nil
+	}
+	out, err := runEscapeAnalysis(u.ModuleDir, pkgDirs)
+	if err != nil {
+		return []Diagnostic{{
+			Pos:     u.Position(spans[0].decl.Pos()),
+			Check:   c.Name(),
+			Message: "escape analysis failed: " + err.Error(),
+		}}
+	}
+	return c.matchEscapes(u, spans, out)
+}
+
+// annotatedFuncs collects //dpr:noalloc functions and the package dirs that
+// must be compiled.
+func (c *NoAllocChecker) annotatedFuncs(u *Unit) ([]funcSpan, []string) {
+	var spans []funcSpan
+	dirSet := map[string]bool{}
+	for _, fs := range declaredFuncs(u) {
+		if fs.decl.Doc == nil {
+			continue
+		}
+		annotated := false
+		for _, cm := range fs.decl.Doc.List {
+			if strings.HasPrefix(cm.Text, "//"+noAllocDirective) {
+				annotated = true
+				break
+			}
+		}
+		if !annotated {
+			continue
+		}
+		spans = append(spans, fs)
+		dirSet[fs.pkg.Dir] = true
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return spans, dirs
+}
+
+// runEscapeAnalysis compiles the given package dirs with -gcflags=-m=2 from
+// the module root and returns the compiler's diagnostic output. -gcflags
+// without a pattern applies only to the packages named on the command line,
+// so dependencies compile quietly.
+func runEscapeAnalysis(moduleDir string, pkgDirs []string) (string, error) {
+	args := []string{"build", "-gcflags=-m=2"}
+	for _, d := range pkgDirs {
+		rel, err := filepath.Rel(moduleDir, d)
+		if err != nil {
+			return "", err
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		// A build failure is not escape output; surface the head of it.
+		head := buf.String()
+		if len(head) > 600 {
+			head = head[:600] + "..."
+		}
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, head)
+	}
+	return buf.String(), nil
+}
+
+// matchEscapes maps escape diagnostics onto annotated function spans.
+func (c *NoAllocChecker) matchEscapes(u *Unit, spans []funcSpan, out string) []Diagnostic {
+	// Index spans by file for line containment checks.
+	byFile := map[string][]funcSpan{}
+	for _, fs := range spans {
+		byFile[fs.file] = append(byFile[fs.file], fs)
+	}
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if strings.HasPrefix(msg, " ") { // "flow:" detail lines are indented
+			continue
+		}
+		isEscape := strings.Contains(msg, "escapes to heap") ||
+			strings.HasPrefix(msg, "moved to heap:")
+		if !isEscape || strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(u.ModuleDir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, fs := range byFile[file] {
+			if lineNo < fs.startLine || lineNo > fs.endLine {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d:%d", file, lineNo, col)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			msg = strings.TrimSuffix(msg, ":")
+			diags = append(diags, Diagnostic{
+				Pos:   positionAt(file, lineNo, col),
+				Check: c.Name(),
+				Message: fmt.Sprintf("%s in //dpr:noalloc function %s: %s",
+					escapeKind(msg), fs.name, msg),
+			})
+			break
+		}
+	}
+	return diags
+}
+
+func escapeKind(msg string) string {
+	if strings.HasPrefix(msg, "moved to heap:") {
+		return "heap-moved variable"
+	}
+	return "heap escape"
+}
+
+// positionAt fabricates a token.Position for compiler output positions.
+func positionAt(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}

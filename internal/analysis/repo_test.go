@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// wireFuzzTargets maps each wire alias-decoder entry point to the fuzz
+// target whose corpus must exercise it. A decode-bounds diagnostic anywhere
+// in internal/wire means an unguarded access shipped without a seed that
+// reproduces it, so the test demands the corpus entry before the fix or
+// suppression lands.
+var wireFuzzTargets = []string{
+	"FuzzDecodeBatchRequest",
+	"FuzzDecodeBatchReply",
+	"FuzzDecodeError",
+}
+
+// TestRepoTreeClean runs the same analysis CI gates on via
+// `go run ./cmd/dpr-vet ./...` over the enclosing module and fails on any
+// diagnostic, keeping `go test` sufficient to catch a violation locally. It
+// also pins the decode-bounds/fuzz pact: the wire decoder corpora must stay
+// populated, and any decode-bounds finding demands a new seed.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks and compiles the whole module")
+	}
+	u, err := Load(LoadConfig{Dir: "."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range Run(u, DefaultCheckers()) {
+		t.Errorf("%s", d.String())
+		if d.Check == "decode-bounds" {
+			t.Errorf("decode-bounds fired: add a truncated-frame seed under internal/wire/testdata/fuzz/ reproducing the unguarded access, then guard or justify it")
+		}
+	}
+	for _, target := range wireFuzzTargets {
+		dir := filepath.Join(u.ModuleDir, "internal", "wire", "testdata", "fuzz", target)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("fuzz corpus %s: %v", dir, err)
+			continue
+		}
+		if len(entries) == 0 {
+			t.Errorf("fuzz corpus %s is empty", dir)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package atomicbad is the failing fixture for the atomic-discipline
+// checker: one mixed plain/atomic field and two typed-wrapper misuses.
+package atomicbad
+
+import "sync/atomic"
+
+type Counter struct {
+	n    uint64
+	hits atomic.Uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *Counter) Read() uint64 {
+	return c.n // want "plain access to field atomicbad.n, which is accessed with sync/atomic"
+}
+
+func (c *Counter) Reset() {
+	c.hits = atomic.Uint64{} // want "assignment overwrites atomic field hits"
+}
+
+func (c *Counter) Snapshot() atomic.Uint64 { // want "result of .* passes lock-containing type"
+	return c.hits // want "field hits .* copied by value; atomic wrappers must be used via their methods"
+}

@@ -1,0 +1,32 @@
+// Package atomicok is the clean fixture for the atomic-discipline checker:
+// every access to an atomic field goes through sync/atomic.
+package atomicok
+
+import "sync/atomic"
+
+type Counter struct {
+	n    uint64
+	hits atomic.Uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *Counter) Read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *Counter) Hit() {
+	c.hits.Add(1)
+}
+
+func (c *Counter) Hits() uint64 {
+	return c.hits.Load()
+}
+
+// NewCounter constructs with composite-literal keys, the one sanctioned
+// plain "write" before the value is published.
+func NewCounter() *Counter {
+	return &Counter{n: 0}
+}

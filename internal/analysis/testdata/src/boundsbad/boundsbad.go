@@ -1,0 +1,20 @@
+// Package boundsbad is the failing fixture for the decode-bounds checker:
+// alias decoders slicing and indexing untrusted buffers with no prior
+// bounds comparison.
+package boundsbad
+
+// DecodeFrameInto aliases p without ever checking its length.
+func DecodeFrameInto(dst *uint64, p []byte) bool {
+	_ = p[:8]           // want "subslice of p in alias decoder DecodeFrameInto"
+	*dst = uint64(p[0]) // want "index of p in alias decoder DecodeFrameInto"
+	return true
+}
+
+type rawDecoder struct {
+	buf []byte
+}
+
+func (d *rawDecoder) next() byte {
+	b := d.buf[0] // want "index of d.buf in alias decoder"
+	return b
+}

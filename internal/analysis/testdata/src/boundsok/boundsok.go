@@ -1,0 +1,29 @@
+// Package boundsok is the clean fixture for the decode-bounds checker:
+// every subslice and index is preceded by a len/cap comparison on the same
+// operand.
+package boundsok
+
+import "encoding/binary"
+
+// DecodeFrameInto checks the buffer length before aliasing it.
+func DecodeFrameInto(dst *uint64, p []byte) bool {
+	if len(p) < 8 {
+		return false
+	}
+	*dst = binary.LittleEndian.Uint64(p[:8])
+	return true
+}
+
+type spanDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *spanDecoder) next() (byte, bool) {
+	if d.off >= len(d.buf) {
+		return 0, false
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, true
+}

@@ -1,0 +1,22 @@
+// Package core is a miniature stand-in for the repo's internal/core. The
+// cut-worldline checker matches its types by name within any package named
+// "core", so the fixtures exercise the real matching logic without importing
+// the enclosing module.
+package core
+
+// WorkerID identifies a worker in the fixture cluster.
+type WorkerID uint64
+
+// Version is a per-worker commit version.
+type Version uint64
+
+// WorldLine numbers the recovery timelines; versions restart across them.
+type WorldLine uint64
+
+// Cut maps workers to persisted version watermarks.
+type Cut map[WorkerID]Version
+
+// WorldLineTracker is the tag type carried by long-lived owners of cuts.
+type WorldLineTracker struct {
+	Current WorldLine
+}

@@ -1,0 +1,14 @@
+// Package ignorebad is the failing fixture for //dpr:ignore: directives
+// without a check name or without a justification are themselves
+// diagnostics, and a malformed directive suppresses nothing.
+package ignorebad
+
+import "fixture/core"
+
+//dpr:ignore
+func A() {}
+
+//dpr:ignore cut-worldline
+type Unjustified struct {
+	Cut core.Cut
+}

@@ -1,0 +1,13 @@
+// Package ignoreok is the clean fixture for //dpr:ignore: a justified
+// standalone suppression silences the diagnostic on the next line.
+package ignoreok
+
+import "fixture/core"
+
+// Suppressed carries a cut without a tag; the (world-line, cut) pairing is
+// owned by the fixture harness, which is the justification recorded inline.
+//
+//dpr:ignore cut-worldline fixture: the pairing is owned by the enclosing harness
+type Suppressed struct {
+	Cut core.Cut
+}

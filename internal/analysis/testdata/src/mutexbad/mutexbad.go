@@ -1,0 +1,61 @@
+// Package mutexbad is the failing fixture for the mutex-discipline checker:
+// a leaked lock, a self-deadlock, an inverted acquisition order, and the
+// three by-value copy shapes.
+package mutexbad
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Leak returns while still holding mu.
+func Leak(b *Box) int {
+	b.mu.Lock()
+	return b.n // want "is still held at this return"
+}
+
+// Double acquires the same exclusive lock twice.
+func Double(b *Box) {
+	b.mu.Lock()
+	b.mu.Lock() // want "self-deadlock"
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Pair's locks must nest a-then-b.
+//
+//dpr:lockorder mutexbad.Pair.a < mutexbad.Pair.b
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// Inverted acquires against the declared order.
+func Inverted(p *Pair) {
+	p.b.Lock()
+	p.a.Lock() // want "violating //dpr:lockorder mutexbad.Pair.a < mutexbad.Pair.b"
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// ByValue copies the lock in through its parameter.
+func ByValue(b Box) int { // want "parameter of ByValue passes lock-containing type"
+	return b.n
+}
+
+// CopyOut copies the lock through a dereferencing assignment.
+func CopyOut(b *Box) int {
+	c := *b // want "assignment copies lock-containing value"
+	return c.n
+}
+
+func use(v any) { _ = v }
+
+// CallCopy copies the lock into a call argument.
+func CallCopy(b *Box) {
+	use(*b) // want "call passes lock-containing value"
+}

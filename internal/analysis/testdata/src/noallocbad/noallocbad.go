@@ -1,0 +1,18 @@
+// Package noallocbad is the failing fixture for the hotpath-noalloc
+// checker: annotated functions whose results force heap allocation.
+package noallocbad
+
+// Boxed allocates its result.
+//
+//dpr:noalloc
+func Boxed() *int {
+	return new(int) // want "heap escape in //dpr:noalloc function Boxed"
+}
+
+// AddrOut forces a stack variable to the heap by returning its address.
+//
+//dpr:noalloc
+func AddrOut() *int {
+	x := 0 // want "//dpr:noalloc function AddrOut"
+	return &x
+}

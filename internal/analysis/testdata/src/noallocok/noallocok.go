@@ -1,0 +1,15 @@
+// Package noallocok is the clean fixture for the hotpath-noalloc checker:
+// an annotated function with no heap escapes.
+package noallocok
+
+// Sum is allocation-free: the slice is only read and the accumulator stays
+// on the stack.
+//
+//dpr:noalloc
+func Sum(xs []byte) int {
+	n := 0
+	for _, b := range xs {
+		n += int(b)
+	}
+	return n
+}

@@ -319,8 +319,10 @@ func (h *Harness) clearFaults() {
 // victim erases committed data, exactly the bug a broken cluster manager or
 // a worker that "recovered" from the wrong checkpoint would introduce. The
 // checker must flag it. Test-only by nature; exported so the self-test in
-// this package documents the checker's detection power.
-func (h *Harness) InjectSkippedRollback(victim int) (core.Cut, core.Cut, error) {
+// this package documents the checker's detection power. Returns the
+// world-line of the injected recovery round alongside the good and applied
+// cuts so the caller can correlate them with session observations.
+func (h *Harness) InjectSkippedRollback(victim int) (core.WorldLine, core.Cut, core.Cut, error) {
 	wl, cut := h.store.BeginRecovery()
 	bad := cut.Clone()
 	bad[h.slots[victim].id] = cut.Get(h.slots[victim].id) / 2
@@ -333,9 +335,9 @@ func (h *Harness) InjectSkippedRollback(victim int) (core.Cut, core.Cut, error) 
 			err = slot.dr.Rollback(wl, bad)
 		}
 		if err != nil {
-			return cut, bad, err
+			return wl, cut, bad, err
 		}
 	}
 	h.store.CompleteRecovery()
-	return cut, bad, nil
+	return wl, cut, bad, nil
 }

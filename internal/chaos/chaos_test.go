@@ -206,11 +206,11 @@ func TestChaosCheckerCatchesViolation(t *testing.T) {
 		time.Sleep(15 * time.Millisecond)
 	}
 
-	good, bad, err := h.InjectSkippedRollback(0)
+	wl, good, bad, err := h.InjectSkippedRollback(0)
 	if err != nil {
 		t.Fatalf("inject: %v", err)
 	}
-	t.Logf("injected skipped rollback: good cut %v, applied cut %v", good, bad)
+	t.Logf("injected skipped rollback on world-line %d: good cut %v, applied cut %v", wl, good, bad)
 
 	// Let the session learn about the new world-line and acknowledge it.
 	deadline := time.Now().Add(10 * time.Second)

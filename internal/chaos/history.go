@@ -363,6 +363,8 @@ func (c *sessionChecker) onFailure(surv *core.SurvivalError, cutMax core.Version
 // worker positions never regress. (In this stack the cut is monotone even
 // across world-lines — the finder's durable table survives crashes — so the
 // check is global, which is stricter than the per-world-line requirement.)
+//
+//dpr:ignore cut-worldline deliberately untagged: this monitor asserts GLOBAL cut monotonicity across world-lines, a stricter property than the per-world-line rule the checker enforces
 type cutMonitor struct {
 	store *metadata.Store
 	stop  chan struct{}

@@ -12,6 +12,8 @@ import "sync"
 //
 // The finder also tracks Vmax so lagging workers can fast-forward their next
 // checkpoint and catch up in bounded time.
+//
+//dpr:ignore cut-worldline finders are world-line-local by design (§3 separates progress from recovery); metadata.Store owns the (world-line, cut) pairing and resets finders across recoveries
 type ApproximateFinder struct {
 	mu        sync.Mutex
 	persisted map[WorkerID]Version
@@ -80,6 +82,8 @@ func (f *ApproximateFinder) recomputeLocked() {
 }
 
 // CurrentCut returns a copy of the latest cut.
+//
+//dpr:ignore cut-worldline finder cuts are world-line-local; metadata.Store tags them before they travel
 func (f *ApproximateFinder) CurrentCut() Cut {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -12,6 +12,7 @@ type Finder interface {
 	Report(w WorkerID, v Version, deps []Token)
 	// CurrentCut returns the latest known DPR-cut. The returned cut must not
 	// be mutated by the caller.
+	//dpr:ignore cut-worldline the Finder abstraction is world-line-local; metadata.Store pairs its cut with the current world-line
 	CurrentCut() Cut
 	// MaxVersion returns the largest version any worker has reported (Vmax
 	// in §3.4), which lagging workers use to fast-forward their checkpoints.
@@ -36,6 +37,8 @@ type VersionReport struct {
 // precedence graph and advances the cut by finding maximal durable transitive
 // closures. It is precise — the cut includes every token whose closure is
 // durable — at the cost of storing the graph.
+//
+//dpr:ignore cut-worldline finders are world-line-local by design; metadata.Store owns the (world-line, cut) pairing and resets finders across recoveries
 type ExactFinder struct {
 	mu      sync.Mutex
 	graph   *PrecedenceGraph
@@ -128,6 +131,8 @@ func (f *ExactFinder) advanceLocked() {
 }
 
 // CurrentCut returns a copy of the latest cut.
+//
+//dpr:ignore cut-worldline finder cuts are world-line-local; metadata.Store tags them before they travel
 func (f *ExactFinder) CurrentCut() Cut {
 	f.mu.Lock()
 	defer f.mu.Unlock()

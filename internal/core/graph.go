@@ -79,6 +79,8 @@ func (g *PrecedenceGraph) Known(t Token) bool {
 // known recoverable and need not be revisited). The second return value is
 // false if the traversal reached a token whose dependencies are unknown or
 // not durable — in that case t cannot yet join the cut.
+//
+//dpr:ignore cut-worldline graph algebra is world-line-local; the owning finder is reset across recoveries so tokens never mix world-lines
 func (g *PrecedenceGraph) DependencySet(t Token, base Cut) ([]Token, bool) {
 	if base.Includes(t) {
 		return nil, true
@@ -126,6 +128,8 @@ func (g *PrecedenceGraph) Workers() []WorkerID {
 // PruneBelow drops all tokens at or below the cut; they can never be needed
 // again because cuts only advance. This bounds graph memory to the
 // uncommitted frontier.
+//
+//dpr:ignore cut-worldline graph algebra is world-line-local; the owning finder is reset across recoveries so tokens never mix world-lines
 func (g *PrecedenceGraph) PruneBelow(cut Cut) {
 	for t := range g.deps {
 		if cut.Includes(t) {

@@ -14,6 +14,8 @@ import "sync"
 // The reported cut is the merge of both components; the approximate cut is a
 // lower bound on the exact cut in steady state, so merging preserves
 // correctness.
+//
+//dpr:ignore cut-worldline finders are world-line-local by design; metadata.Store owns the (world-line, cut) pairing and resets finders across recoveries
 type HybridFinder struct {
 	mu     sync.Mutex
 	exact  *ExactFinder
@@ -84,6 +86,8 @@ func (f *HybridFinder) CrashExact() {
 }
 
 // CurrentCut returns a copy of the merged cut.
+//
+//dpr:ignore cut-worldline finder cuts are world-line-local; metadata.Store tags them before they travel
 func (f *HybridFinder) CurrentCut() Cut {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -41,6 +41,8 @@ const (
 )
 
 // mcState is the whole model state; it is copied cheaply at branch points.
+//
+//dpr:ignore cut-worldline single-world-line model: the checker explores checkpoint/report interleavings, never recovery, so no world-line exists to tag
 type mcState struct {
 	// per-worker: current version, list of (version) checkpoints in flight,
 	// durable version.

@@ -521,6 +521,8 @@ func (w *Worker) serveConn(conn net.Conn) {
 // dependency recording, and reply assembly. Shared by the network path and
 // the co-located path. The returned reply (and the values inside it) aliases
 // sc; it is valid until the next executeBatch call with the same scratch.
+//
+//dpr:noalloc
 func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
 	start := time.Now()
 	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
@@ -528,7 +530,7 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 		if errors.Is(err, libdpr.ErrStaleBatch) {
 			code = wire.ErrCodeStale
 		}
-		return nil, &wire.ErrorReply{
+		return nil, &wire.ErrorReply{ //dpr:ignore hotpath-noalloc cold reject path: admission failures are rare and already off the steady-state path
 			Code:      code,
 			WorldLine: w.dpr.WorldLine(),
 			Message:   err.Error(),
@@ -543,16 +545,16 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 	for i := range req.Ops {
 		if !ownsAt(owned, PartitionOf(req.Ops[i].Key, w.cfg.Partitions), now) {
 			w.badOwnerC.Inc()
-			return nil, &wire.ErrorReply{
+			return nil, &wire.ErrorReply{ //dpr:ignore hotpath-noalloc cold reject path: ownership misses only happen around migrations
 				Code:      wire.ErrCodeBadOwner,
 				WorldLine: w.dpr.WorldLine(),
-				Message:   fmt.Sprintf("key %q not owned by worker %d", req.Ops[i].Key, w.cfg.ID),
+				Message:   fmt.Sprintf("key %q not owned by worker %d", req.Ops[i].Key, w.cfg.ID), //dpr:ignore hotpath-noalloc cold reject path: formatting only on ownership misses
 			}
 		}
 	}
 	executed = true
 
-	sc.results = growResults(sc.results, len(req.Ops))
+	sc.results = growResults(sc.results, len(req.Ops)) //dpr:ignore hotpath-noalloc grows once to the batch high-water mark; steady state reuses the scratch
 	sc.arena = sc.arena[:0]
 	clear(sc.pendingIdx)
 	results := sc.results
@@ -633,7 +635,7 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 	}
 	// Record the batch's cross-shard dependency under every version its
 	// operations executed in (§3.1: dependencies are tracked per version).
-	sc.versions = growVersions(sc.versions, len(results))
+	sc.versions = growVersions(sc.versions, len(results)) //dpr:ignore hotpath-noalloc grows once to the batch high-water mark; steady state reuses the scratch
 	clear(sc.seen)
 	for i := range results {
 		v := results[i].Version

@@ -40,7 +40,10 @@ type stateObject struct {
 
 	// latch: exclusive for BGSAVE (commit) and restart (restore), shared
 	// for batch execution (§6: "There is one latch associated with the
-	// wrapper").
+	// wrapper"). savesMu nests under it (commit/restore record the save id
+	// while latched), never the reverse.
+	//
+	//dpr:lockorder dredis.stateObject.latch < dredis.stateObject.savesMu
 	latch sync.RWMutex
 	srv   *redisclone.Server
 
@@ -467,6 +470,12 @@ func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.E
 
 // executeBatch is ExecuteBatch with a caller-held scratch; the reply aliases
 // sc and is valid until the next execution with the same scratch.
+//
+// Deliberately NOT //dpr:noalloc: every operation crosses redisclone's
+// channel-based event loop, so the key must be copied into the command
+// struct (string(op.Key)) — it outlives this frame's wire buffer. The
+// alloc-free serving discipline applies to the framing/decode layers around
+// this call, not to the wrapped store (§6 wraps an unmodified cache-store).
 func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.BatchReply, *wire.ErrorReply) {
 	start := time.Now()
 	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {

@@ -127,6 +127,14 @@ type Worker struct {
 	// rollback message and the worker's metadata-poll self-heal can race for
 	// the same world-line, and a duplicate Restore would silently erase
 	// operations executed between the two calls.
+	//
+	// Lock order: execMu is the outermost worker lock — the session gate
+	// and the bookkeeping locks are only ever taken under it (admission) or
+	// with it exclusive (rollback), never the other way around.
+	//
+	//dpr:lockorder libdpr.Worker.execMu < libdpr.sessionGate.mu
+	//dpr:lockorder libdpr.Worker.execMu < libdpr.Worker.depsMu
+	//dpr:lockorder libdpr.Worker.execMu < libdpr.Worker.cutMu
 	execMu sync.RWMutex
 
 	// gates holds one execution gate per client session (keyed by
@@ -403,7 +411,7 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader) (core.WorldLine, error) {
 		return wl, fmt.Errorf("%w (session %d fenced at seq %d, batch starts at %d)",
 			ErrStaleBatch, h.SessionID, fence, h.SeqStart)
 	}
-	return wl, nil
+	return wl, nil //dpr:ignore mutex-discipline guarded admission: success deliberately returns holding execMu.RLock and the session gate; ReleaseBatch is the paired release
 }
 
 // ReleaseBatch ends the execution pinned by a successful AdmitBatchGuarded.
@@ -464,6 +472,8 @@ func (w *Worker) RecordDependency(v core.Version, dep core.Token) {
 // world-line, making the pairing exact. The returned cut is a shared
 // immutable snapshot: callers must treat it as read-only. Reply performs no
 // allocation.
+//
+//dpr:noalloc
 func (w *Worker) Reply(versions []core.Version) BatchReply {
 	r := BatchReply{WorldLine: w.wl.Current(), Versions: versions}
 	if snap := w.cutSnap.Load(); snap.wl == r.WorldLine {
@@ -477,6 +487,8 @@ func (w *Worker) Reply(versions []core.Version) BatchReply {
 // the cached cut belongs to a world-line other than the worker's current
 // one. The returned bytes are immutable and shared; callers must not modify
 // them.
+//
+//dpr:noalloc
 func (w *Worker) EncodedCut() []byte {
 	if snap := w.cutSnap.Load(); snap.wl == w.wl.Current() {
 		return snap.encoded

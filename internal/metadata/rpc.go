@@ -1,6 +1,7 @@
 package metadata
 
 import (
+	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
@@ -50,8 +51,12 @@ type (
 	MembersReply struct{ Members map[core.WorkerID]string }
 	// CutArgs names a world-line.
 	CutArgs struct{ WorldLine core.WorldLine }
-	// CutReply carries a cut.
-	CutReply struct{ Cut core.Cut }
+	// CutReply carries a cut tagged with the world-line it belongs to, so
+	// the pairing survives the wire even if requests are pipelined.
+	CutReply struct {
+		Cut       core.Cut
+		WorldLine core.WorldLine
+	}
 	// AckArgs confirms a rollback.
 	AckArgs struct {
 		Worker    core.WorkerID
@@ -132,7 +137,7 @@ func (s *RPCService) RecoveredCut(args *CutArgs, reply *CutReply) error {
 	if err != nil {
 		return err
 	}
-	reply.Cut = c
+	reply.Cut, reply.WorldLine = c, args.WorldLine
 	return nil
 }
 
@@ -292,6 +297,9 @@ func (c *RPCClient) RecoveredCut(wl core.WorldLine) (core.Cut, error) {
 	var reply CutReply
 	if err := c.call("Metadata.RecoveredCut", &CutArgs{WorldLine: wl}, &reply); err != nil {
 		return nil, err
+	}
+	if reply.WorldLine != wl {
+		return nil, fmt.Errorf("metadata: recovered cut tagged world-line %d, want %d", reply.WorldLine, wl)
 	}
 	return reply.Cut, nil
 }

@@ -171,9 +171,19 @@ func (d *decoder) bytes() []byte {
 	d.off += n
 	return v
 }
+// Decode errors are package-level sentinels: the decoders are //dpr:noalloc
+// and an inline errors.New would heap-allocate per malformed frame on an
+// attacker-controlled reject path.
+var (
+	errTruncatedFrame = errors.New("wire: truncated frame")
+	errOpCount        = errors.New("wire: op count exceeds frame")
+	errResultCount    = errors.New("wire: result count exceeds frame")
+	errCutCount       = errors.New("wire: cut entry count exceeds frame")
+)
+
 func (d *decoder) fail() {
 	if d.err == nil {
-		d.err = errors.New("wire: truncated frame")
+		d.err = errTruncatedFrame
 	}
 }
 
@@ -223,6 +233,8 @@ func PutBuffer(b *[]byte) {
 // escapes into the underlying io.Writer interface and heap-allocates per
 // frame, while WriteByte stays on the bufio fast path. bufio errors are
 // sticky, so the final Write reports any earlier failure.
+//
+//dpr:noalloc
 func WriteFrame(w *bufio.Writer, tag byte, payload []byte) error {
 	n := uint32(len(payload) + 1)
 	w.WriteByte(byte(n))
@@ -249,6 +261,8 @@ func NewFrameReader(r *bufio.Reader) *FrameReader {
 
 // Read reads one frame, returning its tag and payload. The payload aliases
 // the reader's internal buffer: it is overwritten by the next Read.
+//
+//dpr:noalloc
 func (fr *FrameReader) Read() (byte, []byte, error) {
 	// Peek the length prefix out of the bufio buffer instead of ReadFull
 	// into a local array: the array escapes into the io.Reader interface
@@ -263,11 +277,11 @@ func (fr *FrameReader) Read() (byte, []byte, error) {
 	n := int(binary.LittleEndian.Uint32(hdr))
 	fr.r.Discard(4)
 	if n == 0 || n > MaxFrameSize {
-		return 0, nil, fmt.Errorf("wire: bad frame size %d", n)
+		return 0, nil, fmt.Errorf("wire: bad frame size %d", n) //dpr:ignore hotpath-noalloc cold reject path: only corrupt length prefixes reach the formatter
 	}
 	buf := *fr.buf
 	if cap(buf) < n {
-		buf = make([]byte, n)
+		buf = make([]byte, n) //dpr:ignore hotpath-noalloc grows once to the connection frame high-water mark; steady state reuses the pooled buffer
 		*fr.buf = buf
 	}
 	buf = buf[:n]
@@ -312,6 +326,8 @@ func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
 
 // AppendBatchRequest appends the request encoding to dst and returns the
 // extended buffer. Steady-state callers reuse dst across batches.
+//
+//dpr:noalloc
 func AppendBatchRequest(dst []byte, b *BatchRequest) []byte {
 	h := b.Header
 	dst = appendU64(dst, h.SessionID)
@@ -339,6 +355,8 @@ func EncodeBatchRequest(b *BatchRequest) []byte {
 // DecodeBatchRequestInto parses a batch request payload into b, reusing
 // b.Ops. Keys and values alias p (zero copy): the caller owns p and must not
 // reuse it until the decoded batch has been fully consumed.
+//
+//dpr:noalloc
 func DecodeBatchRequestInto(b *BatchRequest, p []byte) error {
 	d := &decoder{buf: p}
 	b.Header.SessionID = d.u64()
@@ -352,10 +370,10 @@ func DecodeBatchRequestInto(b *BatchRequest, p []byte) error {
 	b.Ops = b.Ops[:0]
 	if d.err == nil && n > 0 {
 		if n > len(p) { // cheap sanity bound: each op needs ≥9 bytes
-			return errors.New("wire: op count exceeds frame")
+			return errOpCount
 		}
 		if cap(b.Ops) < n {
-			b.Ops = make([]Op, n)
+			b.Ops = make([]Op, n) //dpr:ignore hotpath-noalloc grows once to the batch high-water mark; steady state reuses b.Ops
 		}
 		b.Ops = b.Ops[:n]
 		for i := 0; i < n; i++ {
@@ -370,7 +388,7 @@ func DecodeBatchRequestInto(b *BatchRequest, p []byte) error {
 	}
 	if b.Header.NumOps != uint32(n) {
 		b.Ops = b.Ops[:0]
-		return fmt.Errorf("wire: header claims %d ops, frame carries %d", b.Header.NumOps, n)
+		return fmt.Errorf("wire: header claims %d ops, frame carries %d", b.Header.NumOps, n) //dpr:ignore hotpath-noalloc cold reject path: only malformed frames reach the formatter
 	}
 	return nil
 }
@@ -389,6 +407,8 @@ func DecodeBatchRequest(p []byte) (*BatchRequest, error) {
 
 // AppendCut appends the cut section encoding (entry count + entries) to dst.
 // The result can be cached and spliced into replies via BatchReply.EncodedCut.
+//
+//dpr:ignore cut-worldline encode-only splice helper; the (world-line, cut) pairing is fixed where the snapshot is captured (libdpr cutSnapshot) and the world-line travels in the reply header
 func AppendCut(dst []byte, c core.Cut) []byte {
 	dst = appendU32(dst, uint32(len(c)))
 	for w, v := range c {
@@ -403,6 +423,8 @@ func AppendCut(dst []byte, c core.Cut) []byte {
 // copy-before-reply point for results that alias store memory or a batch
 // arena. If r.EncodedCut is non-nil it is spliced verbatim (and r.Cut is
 // ignored); otherwise the cut map is serialized.
+//
+//dpr:noalloc
 func AppendBatchReply(dst []byte, r *BatchReply) []byte {
 	dst = appendU64(dst, uint64(r.WorldLine))
 	dst = appendU32(dst, uint32(len(r.Results)))
@@ -432,6 +454,8 @@ func EncodeBatchReply(r *BatchReply) []byte {
 // r.Cut. Values alias p (zero copy): the caller owns p and must not reuse it
 // until the decoded reply has been fully consumed. Absent values decode as
 // nil; present zero-length values decode as non-nil empty slices.
+//
+//dpr:noalloc
 func DecodeBatchReplyInto(r *BatchReply, p []byte) error {
 	d := &decoder{buf: p}
 	r.WorldLine = core.WorldLine(d.u64())
@@ -440,10 +464,10 @@ func DecodeBatchReplyInto(r *BatchReply, p []byte) error {
 	r.EncodedCut = nil
 	if d.err == nil && n > 0 {
 		if n > len(p) {
-			return errors.New("wire: result count exceeds frame")
+			return errResultCount
 		}
 		if cap(r.Results) < n {
-			r.Results = make([]OpResult, n)
+			r.Results = make([]OpResult, n) //dpr:ignore hotpath-noalloc grows once to the batch high-water mark; steady state reuses r.Results
 		}
 		r.Results = r.Results[:n]
 		for i := 0; i < n; i++ {
@@ -461,10 +485,10 @@ func DecodeBatchReplyInto(r *BatchReply, p []byte) error {
 		// Validate before sizing the map: a corrupt count must not drive a
 		// gigantic pre-allocation.
 		r.Results = r.Results[:0]
-		return errors.New("wire: cut entry count exceeds frame")
+		return errCutCount
 	}
 	if r.Cut == nil {
-		r.Cut = make(core.Cut, cn)
+		r.Cut = make(core.Cut, cn) //dpr:ignore hotpath-noalloc first decode only; later decodes clear and refill the map
 	} else {
 		clear(r.Cut)
 	}
@@ -497,6 +521,8 @@ func DecodeBatchReply(p []byte) (*BatchReply, error) {
 // ---- error reply ----
 
 // AppendError appends the error encoding to dst.
+//
+//dpr:noalloc
 func AppendError(dst []byte, e *ErrorReply) []byte {
 	dst = append(dst, e.Code)
 	dst = appendU64(dst, uint64(e.WorldLine))
