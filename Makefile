@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet dpr-vet test race fuzz bench
+.PHONY: check build vet dpr-vet test race fuzz bench bench-scaling
 
 # The full pre-commit gate, in the order CI runs it.
 check: build vet dpr-vet test
@@ -31,3 +31,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# The multi-core scaling curve: the full networked serve pipeline at 1, 2,
+# 4, and 8 cores. With the sharded epoch-protected index and per-lane
+# rollback fence there is no cross-connection lock on the serve path, so
+# throughput should scale with cores up to the host's physical core count
+# (compare ops/s across the -cpu column; allocs/op must stay 0 throughout).
+bench-scaling:
+	$(GO) test -bench 'ServeBatch$$' -cpu 1,2,4,8 -benchmem -run '^$$' -benchtime 2s ./internal/dfaster

@@ -45,6 +45,11 @@ type Config struct {
 	Checkpoint time.Duration
 	// Finder selects the cut-finding algorithm under test.
 	Finder metadata.FinderKind
+	// IndexShards is the kv hash-index shard count per worker (0 = the kv
+	// package default). Values >1 exercise the parallel serving path:
+	// sharded epoch-protected index, per-shard checkpoint scans, and
+	// parallel recovery rebuild — all under fault injection.
+	IndexShards int
 }
 
 // workerSlot is one cluster seat: a stable identity (worker ID, proxy,
@@ -115,7 +120,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 			CheckpointInterval: cfg.Checkpoint,
 			Partitions:         cfg.Partitions,
 			Device:             slot.flaky,
-			KV:                 kv.Config{BucketCount: kvBuckets},
+			KV:                 kv.Config{BucketCount: kvBuckets, IndexShards: cfg.IndexShards},
 		}, h.svc)
 		if err != nil {
 			h.Close()
@@ -256,7 +261,7 @@ func (h *Harness) CrashRestart(slotIdx int) error {
 	pos := cut.Get(slot.id)
 	h.logdbg("chaos: recovery wl=%d cut=%v; restoring worker %d at pos=%d (latest ckpt %d)",
 		wl, cut, slot.id, pos, kv.LatestCheckpoint(slot.inner, "hlog"))
-	kvcfg := kv.Config{BucketCount: kvBuckets}
+	kvcfg := kv.Config{BucketCount: kvBuckets, IndexShards: h.cfg.IndexShards}
 	var st *kv.Store
 	deadline := time.Now().Add(15 * time.Second)
 	for {

@@ -76,6 +76,23 @@ func chaosSeeds(t *testing.T) []int64 {
 	return []int64{42, 43, 44}
 }
 
+// chaosShards reads CHAOS_SHARDS: the kv index shard count per worker.
+// 0 (the default when unset) means the kv package default. The nightly
+// parallel-shard sweep sets CHAOS_SHARDS=4 so the sharded epoch-protected
+// index, per-shard checkpoint scans, and parallel recovery rebuild all run
+// under fault injection.
+func chaosShards(t *testing.T) int {
+	s := os.Getenv("CHAOS_SHARDS")
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		t.Fatalf("bad CHAOS_SHARDS %q: %v", s, err)
+	}
+	return n
+}
+
 // TestChaos is the harness entry point: for each seed, stand up a real
 // cluster, replay the derived fault schedule under concurrent traffic, then
 // quiesce and validate the full history. Any failure message carries the
@@ -91,11 +108,12 @@ func TestChaos(t *testing.T) {
 
 func runChaosScenario(t *testing.T, seed int64) {
 	cfg := Config{
-		DFaster:    3,
-		DRedis:     1,
-		Partitions: 32,
-		Checkpoint: 5 * time.Millisecond,
-		Finder:     FinderFor(seed),
+		DFaster:     3,
+		DRedis:      1,
+		Partitions:  32,
+		Checkpoint:  5 * time.Millisecond,
+		Finder:      FinderFor(seed),
+		IndexShards: chaosShards(t),
 	}
 	events := 16
 	if testing.Short() {

@@ -48,6 +48,8 @@ func TestInstrumentedServePathZeroAlloc(t *testing.T) {
 	kvSess := w.Store().NewSession()
 	defer kvSess.Close()
 	sc := dfaster.NewBatchScratch()
+	lane := w.NewLane()
+	defer lane.Close()
 
 	ops := make([]wire.Op, batchSize)
 	for i := range ops {
@@ -67,7 +69,7 @@ func TestInstrumentedServePathZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.Header = h
-		reply, errReply := w.ExecuteLocalScratch(kvSess, req, sc)
+		reply, errReply := w.ExecuteLocalScratch(kvSess, req, sc, lane)
 		if errReply != nil {
 			t.Fatalf("batch refused: %+v", errReply)
 		}

@@ -70,6 +70,7 @@ type Client struct {
 	// callback slot make it allocation-free.
 	localSess     *kv.Session
 	localScratch  *BatchScratch
+	localLane     *Lane
 	localReq      wire.BatchRequest
 	localVersions []core.Version
 	localCbs      [1]OpCallback
@@ -119,6 +120,7 @@ func NewClient(cfg ClientConfig, meta metadata.Service) (*Client, error) {
 	if cfg.LocalWorker != nil {
 		c.localSess = cfg.LocalWorker.Store().NewSession()
 		c.localScratch = NewBatchScratch()
+		c.localLane = cfg.LocalWorker.NewLane()
 	}
 	return c, nil
 }
@@ -136,6 +138,9 @@ func (c *Client) Close() {
 	c.connsMu.Unlock()
 	if c.localSess != nil {
 		c.localSess.Close()
+	}
+	if c.localLane != nil {
+		c.localLane.Close()
 	}
 }
 
@@ -255,7 +260,7 @@ func (c *Client) executeLocal(op wire.Op, cb OpCallback) error {
 	}
 	c.localReq.Header = h
 	c.localReq.Ops = append(c.localReq.Ops[:0], op)
-	reply, errReply := c.cfg.LocalWorker.ExecuteLocalScratch(c.localSess, &c.localReq, c.localScratch)
+	reply, errReply := c.cfg.LocalWorker.ExecuteLocalScratch(c.localSess, &c.localReq, c.localScratch, c.localLane)
 	if errReply != nil {
 		if errReply.Code == wire.ErrCodeRejected {
 			if err := c.session.NotifyWorldLine(errReply.WorldLine); err != nil {

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,7 +27,7 @@ func benchWorker(b *testing.B) (*Worker, *metadata.Store) {
 		CheckpointInterval: 25 * time.Millisecond,
 		Partitions:         testPartitions,
 		Device:             storage.NewNull(),
-		KV:                 kv.Config{BucketCount: 1 << 12},
+		KV:                 kv.Config{BucketCount: 1 << 12, IndexShards: 8},
 	}, meta)
 	if err != nil {
 		b.Fatal(err)
@@ -39,13 +41,24 @@ func benchWorker(b *testing.B) (*Worker, *metadata.Store) {
 	return w, meta
 }
 
-// BenchmarkServeBatch drives the full networked pipeline — encode request,
-// frame I/O over loopback TCP, server decode, executeBatch, reply encode,
-// client decode — with batches of 64 mixed ops. One iteration is one batch;
-// allocs/op therefore counts allocations per 64 operations across both ends.
-func BenchmarkServeBatch(b *testing.B) {
-	const batchSize = 64
-	w, meta := benchWorker(b)
+// benchConn is one client's end of the serve pipeline: its own TCP
+// connection (so the server gives it a dedicated serving goroutine, kv
+// session, scratch, and execution lane), its own libDPR session, and its own
+// encode/decode state. Keys carry the client id so concurrent clients spread
+// across the sharded index the way independent application threads would.
+type benchConn struct {
+	sess     *libdpr.Session
+	conn     net.Conn
+	bw       *bufio.Writer
+	fr       *wire.FrameReader
+	req      wire.BatchRequest
+	reply    wire.BatchReply
+	versions []core.Version
+	scratch  []byte
+}
+
+func newBenchConn(b *testing.B, w *Worker, meta *metadata.Store, id, batchSize int) *benchConn {
+	b.Helper()
 	sess, err := libdpr.NewSession(meta, true)
 	if err != nil {
 		b.Fatal(err)
@@ -54,72 +67,96 @@ func BenchmarkServeBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer conn.Close()
+	b.Cleanup(func() { conn.Close() })
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	bw := bufio.NewWriterSize(conn, 1<<16)
-	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
-	defer fr.Close()
-
-	// Pre-build the op set: half upserts, half reads over a small keyspace.
+	c := &benchConn{
+		sess:     sess,
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 1<<16),
+		fr:       wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16)),
+		versions: make([]core.Version, batchSize),
+	}
+	b.Cleanup(c.fr.Close)
+	// Half upserts, half reads over a small per-client keyspace.
 	ops := make([]wire.Op, batchSize)
-	keys := make([][]byte, batchSize)
-	vals := make([][]byte, batchSize)
 	for i := range ops {
-		keys[i] = []byte(fmt.Sprintf("bench-key-%04d", i%97))
-		vals[i] = []byte(fmt.Sprintf("bench-value-%08d", i))
+		key := []byte(fmt.Sprintf("bench-key-%03d-%04d", id, i%97))
 		if i%2 == 0 {
-			ops[i] = wire.Op{Kind: wire.OpUpsert, Key: keys[i], Value: vals[i]}
+			ops[i] = wire.Op{Kind: wire.OpUpsert, Key: key,
+				Value: []byte(fmt.Sprintf("bench-value-%08d", i))}
 		} else {
-			ops[i] = wire.Op{Kind: wire.OpRead, Key: keys[i]}
+			ops[i] = wire.Op{Kind: wire.OpRead, Key: key}
 		}
 	}
-	req := &wire.BatchRequest{Ops: ops}
-	var reply wire.BatchReply
-	versions := make([]core.Version, batchSize)
-	var scratch []byte
+	c.req = wire.BatchRequest{Ops: ops}
+	return c
+}
 
-	runBatch := func() {
-		h, err := sess.NextBatch(batchSize)
-		if err != nil {
-			b.Fatal(err)
-		}
-		req.Header = h
-		scratch = wire.AppendBatchRequest(scratch[:0], req)
-		if err := wire.WriteFrame(bw, wire.FrameBatchRequest, scratch); err != nil {
-			b.Fatal(err)
-		}
-		if err := bw.Flush(); err != nil {
-			b.Fatal(err)
-		}
-		tag, payload, err := fr.Read()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if tag != wire.FrameBatchReply {
-			b.Fatalf("unexpected frame tag %d", tag)
-		}
-		if err := wire.DecodeBatchReplyInto(&reply, payload); err != nil {
-			b.Fatal(err)
-		}
-		for i, r := range reply.Results {
-			versions[i] = r.Version
-		}
-		if err := sess.CompleteBatch(w.ID(), h, libdpr.BatchReply{
-			WorldLine: reply.WorldLine, Versions: versions, Cut: reply.Cut,
-		}); err != nil {
-			b.Fatal(err)
-		}
+// runBatch drives one batch through the full pipeline: encode, frame I/O
+// over loopback TCP, server decode, executeBatch, reply encode, client
+// decode, commit tracking.
+func (c *benchConn) runBatch(b *testing.B, w *Worker, batchSize int) {
+	h, err := c.sess.NextBatch(batchSize)
+	if err != nil {
+		b.Fatal(err)
 	}
+	c.req.Header = h
+	c.scratch = wire.AppendBatchRequest(c.scratch[:0], &c.req)
+	if err := wire.WriteFrame(c.bw, wire.FrameBatchRequest, c.scratch); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	tag, payload, err := c.fr.Read()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tag != wire.FrameBatchReply {
+		b.Fatalf("unexpected frame tag %d", tag)
+	}
+	if err := wire.DecodeBatchReplyInto(&c.reply, payload); err != nil {
+		b.Fatal(err)
+	}
+	for i, r := range c.reply.Results {
+		c.versions[i] = r.Version
+	}
+	if err := c.sess.CompleteBatch(w.ID(), h, libdpr.BatchReply{
+		WorldLine: c.reply.WorldLine, Versions: c.versions, Cut: c.reply.Cut,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
 
-	runBatch() // warm connection, session, and store
+// BenchmarkServeBatch drives the full networked pipeline with one client per
+// core (GOMAXPROCS clients, each with a dedicated connection and therefore a
+// dedicated server-side serving goroutine, kv session, and execution lane),
+// batches of 64 mixed ops each. One iteration is one batch; allocs/op counts
+// allocations per 64 operations across both ends. Run with -cpu 1,2,4,8 for
+// the scaling curve: with the sharded epoch-protected index and per-lane
+// rollback fence there is no cross-connection lock left on the serve path.
+func BenchmarkServeBatch(b *testing.B) {
+	const batchSize = 64
+	w, meta := benchWorker(b)
+
+	nclients := runtime.GOMAXPROCS(0)
+	conns := make([]*benchConn, nclients)
+	for i := range conns {
+		conns[i] = newBenchConn(b, w, meta, i, batchSize)
+		conns[i].runBatch(b, w, batchSize) // warm connection, session, store
+	}
+	var next atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
-	for i := 0; i < b.N; i++ {
-		runBatch()
-	}
+	b.RunParallel(func(pb *testing.PB) {
+		c := conns[int(next.Add(1)-1)%len(conns)]
+		for pb.Next() {
+			c.runBatch(b, w, batchSize)
+		}
+	})
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(b.N*batchSize)/elapsed.Seconds(), "ops/s")
 }

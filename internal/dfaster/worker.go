@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,12 @@ type WorkerConfig struct {
 	// lifecycle trace ring capacity (<= 0: obs.DefaultTraceSize).
 	Obs       *obs.Registry
 	TraceSize int
+	// Lanes is the number of serving lanes instruments are attributed to.
+	// Each connection is assigned a lane id round-robin; per-lane batch/op
+	// counters and the imbalance gauge make scaling regressions visible on
+	// /metrics without per-connection label cardinality. <= 0 selects a
+	// default sized to runtime.GOMAXPROCS, capped at 16.
+	Lanes int
 }
 
 // Worker is one D-FASTER shard server.
@@ -96,6 +103,20 @@ type Worker struct {
 	badOwnerC *obs.Counter
 	batchLatH *obs.Histogram
 	batchOpsH *obs.Histogram
+	// Per-lane instruments: connections are assigned lane ids round-robin
+	// (laneSeq) and bump their lane's counters on the hot path — one atomic
+	// add per batch, no shared-line contention across lanes.
+	laneStats []laneInstruments
+	laneSeq   atomic.Uint64
+	// drainH observes the latency of every store epoch drain (checkpoint
+	// boundaries, rollback fences, eviction, compaction).
+	drainH *obs.Histogram
+}
+
+// laneInstruments is the per-lane counter pair.
+type laneInstruments struct {
+	batches *obs.Counter
+	ops     *obs.Counter
 }
 
 // NewWorker builds and starts a worker (store, libDPR wrapper, listener).
@@ -196,7 +217,80 @@ func (w *Worker) registerObs() {
 		"Server-side batch execution latency (admission through reply assembly).", lbls...)
 	w.batchOpsH = reg.ValueHistogram("dpr_server_batch_ops",
 		"Operations per executed batch.", lbls...)
+	w.drainH = reg.Histogram("dpr_store_epoch_drain_seconds",
+		"Latency of store epoch drains (checkpoint boundaries, rollback fences, eviction).", lbls...)
+	w.store.OnDrain(w.drainH.Observe)
+	nlanes := w.cfg.Lanes
+	if nlanes <= 0 {
+		nlanes = defaultLanes()
+	}
+	w.laneStats = make([]laneInstruments, nlanes)
+	for i := range w.laneStats {
+		laneLbls := append(append([]obs.Label(nil), lbls...),
+			obs.L("lane", strconv.Itoa(i)))
+		w.laneStats[i] = laneInstruments{
+			batches: reg.Counter("dpr_server_lane_batches_total",
+				"Batches executed, attributed to serving lanes.", laneLbls...),
+			ops: reg.Counter("dpr_server_lane_ops_total",
+				"Operations executed, attributed to serving lanes.", laneLbls...),
+		}
+	}
+	reg.GaugeFunc("dpr_server_lane_imbalance",
+		"Max over mean of per-lane batch counts (1.0 = perfectly balanced).",
+		func() float64 {
+			var max, sum uint64
+			for i := range w.laneStats {
+				n := w.laneStats[i].batches.Value()
+				sum += n
+				if n > max {
+					max = n
+				}
+			}
+			if sum == 0 {
+				return 1
+			}
+			return float64(max) * float64(len(w.laneStats)) / float64(sum)
+		}, lbls...)
 }
+
+// defaultLanes sizes the lane count to the machine, like the kv index's
+// default shard count.
+func defaultLanes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// Lane couples a libDPR execution lane (the epoch slot a batch pins against
+// the rollback fence) with the serving-layer instruments it reports into.
+// Each connection — and each co-located caller — owns one; a Lane must not
+// be used by two batches concurrently.
+type Lane struct {
+	exec    *libdpr.ExecLane
+	id      int
+	batches *obs.Counter
+	ops     *obs.Counter
+}
+
+// NewLane registers an execution lane with the next lane id (round-robin).
+// Close it when the connection or co-located caller is done.
+func (w *Worker) NewLane() *Lane {
+	id := int(w.laneSeq.Add(1)-1) % len(w.laneStats)
+	return &Lane{
+		exec:    w.dpr.NewLane(),
+		id:      id,
+		batches: w.laneStats[id].batches,
+		ops:     w.laneStats[id].ops,
+	}
+}
+
+// Close unregisters the lane from rollback-fence accounting.
+func (l *Lane) Close() { l.exec.Close() }
 
 // DebugState assembles the /debug/dpr snapshot, layering serving-layer
 // counters onto the libDPR protocol view.
@@ -479,6 +573,8 @@ func (w *Worker) serveConn(conn net.Conn) {
 	var req wire.BatchRequest
 	sess := w.store.NewSession()
 	defer sess.Close()
+	lane := w.NewLane()
+	defer lane.Close()
 	for {
 		select {
 		case <-w.stop:
@@ -495,7 +591,7 @@ func (w *Worker) serveConn(conn net.Conn) {
 		if err := wire.DecodeBatchRequestInto(&req, payload); err != nil {
 			return
 		}
-		reply, errReply := w.executeBatch(sess, &req, sc)
+		reply, errReply := w.executeBatch(sess, &req, sc, lane)
 		if errReply != nil {
 			*out = wire.AppendError((*out)[:0], errReply)
 			if wire.WriteFrame(bw, wire.FrameError, *out) != nil {
@@ -523,9 +619,9 @@ func (w *Worker) serveConn(conn net.Conn) {
 // sc; it is valid until the next executeBatch call with the same scratch.
 //
 //dpr:noalloc
-func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
+func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch, lane *Lane) (*wire.BatchReply, *wire.ErrorReply) {
 	start := time.Now()
-	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
+	if _, err := w.dpr.AdmitBatchGuarded(req.Header, lane.exec); err != nil {
 		code := wire.ErrCodeRejected
 		if errors.Is(err, libdpr.ErrStaleBatch) {
 			code = wire.ErrCodeStale
@@ -537,7 +633,7 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 		}
 	}
 	executed := false
-	defer func() { w.dpr.ReleaseBatch(req.Header, executed) }()
+	defer func() { w.dpr.ReleaseBatch(req.Header, lane.exec, executed) }()
 	// Ownership validation against the local view (§5.3). The snapshot is
 	// immutable, so no lock is taken; one clock read covers the whole batch.
 	owned := *w.ownedSnap.Load()
@@ -658,6 +754,8 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 	}
 	w.batchesC.Inc()
 	w.opsC.Add(uint64(len(req.Ops)))
+	lane.batches.Inc()
+	lane.ops.Add(uint64(len(req.Ops)))
 	w.batchOpsH.ObserveValue(uint64(len(req.Ops)))
 	w.batchLatH.Observe(time.Since(start))
 	return &sc.reply, nil
@@ -666,13 +764,17 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 // ExecuteLocal is the co-located execution path (§5.2): application threads
 // on the same machine call straight into the worker, skipping the network.
 // The caller supplies its own FasterKV session. For an allocation-free
-// steady state, hold a BatchScratch and use ExecuteLocalScratch instead.
+// steady state, hold a BatchScratch and a Lane and use ExecuteLocalScratch
+// instead.
 func (w *Worker) ExecuteLocal(sess *kv.Session, req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
-	return w.executeBatch(sess, req, NewBatchScratch())
+	lane := w.NewLane()
+	defer lane.Close()
+	return w.executeBatch(sess, req, NewBatchScratch(), lane)
 }
 
-// ExecuteLocalScratch is ExecuteLocal with a caller-held scratch. The reply
-// aliases sc and is valid until the next execution with the same scratch.
-func (w *Worker) ExecuteLocalScratch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch) (*wire.BatchReply, *wire.ErrorReply) {
-	return w.executeBatch(sess, req, sc)
+// ExecuteLocalScratch is ExecuteLocal with a caller-held scratch and lane.
+// The reply aliases sc and is valid until the next execution with the same
+// scratch.
+func (w *Worker) ExecuteLocalScratch(sess *kv.Session, req *wire.BatchRequest, sc *BatchScratch, lane *Lane) (*wire.BatchReply, *wire.ErrorReply) {
+	return w.executeBatch(sess, req, sc, lane)
 }

@@ -429,6 +429,8 @@ func (w *Worker) serveConn(conn net.Conn) {
 	defer wire.PutBuffer(out)
 	var sc batchScratch
 	var req wire.BatchRequest
+	lane := w.dpr.NewLane()
+	defer lane.Close()
 	for {
 		select {
 		case <-w.stop:
@@ -442,7 +444,7 @@ func (w *Worker) serveConn(conn net.Conn) {
 		if err := wire.DecodeBatchRequestInto(&req, payload); err != nil {
 			return
 		}
-		reply, errReply := w.executeBatch(&req, &sc)
+		reply, errReply := w.executeBatch(&req, &sc, lane)
 		if errReply != nil {
 			*out = wire.AppendError((*out)[:0], errReply)
 			err = wire.WriteFrame(bw, wire.FrameError, *out)
@@ -465,7 +467,9 @@ func (w *Worker) serveConn(conn net.Conn) {
 // shared-latch execution on the unmodified store, dependency recording, and
 // reply assembly.
 func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.ErrorReply) {
-	return w.executeBatch(req, &batchScratch{})
+	lane := w.dpr.NewLane()
+	defer lane.Close()
+	return w.executeBatch(req, &batchScratch{}, lane)
 }
 
 // executeBatch is ExecuteBatch with a caller-held scratch; the reply aliases
@@ -476,9 +480,9 @@ func (w *Worker) ExecuteBatch(req *wire.BatchRequest) (*wire.BatchReply, *wire.E
 // struct (string(op.Key)) — it outlives this frame's wire buffer. The
 // alloc-free serving discipline applies to the framing/decode layers around
 // this call, not to the wrapped store (§6 wraps an unmodified cache-store).
-func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.BatchReply, *wire.ErrorReply) {
+func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch, lane *libdpr.ExecLane) (*wire.BatchReply, *wire.ErrorReply) {
 	start := time.Now()
-	if _, err := w.dpr.AdmitBatchGuarded(req.Header); err != nil {
+	if _, err := w.dpr.AdmitBatchGuarded(req.Header, lane); err != nil {
 		code := wire.ErrCodeRejected
 		if errors.Is(err, libdpr.ErrStaleBatch) {
 			code = wire.ErrCodeStale
@@ -489,7 +493,7 @@ func (w *Worker) executeBatch(req *wire.BatchRequest, sc *batchScratch) (*wire.B
 			Message:   err.Error(),
 		}
 	}
-	defer w.dpr.ReleaseBatch(req.Header, true)
+	defer w.dpr.ReleaseBatch(req.Header, lane, true)
 	// Shared latch: commits (exclusive) cannot interleave, so the whole
 	// batch executes in one version.
 	w.so.latch.RLock()

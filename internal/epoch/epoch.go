@@ -9,8 +9,10 @@
 package epoch
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Slot is one participant's registration in a Table. A participant Enters a
@@ -91,6 +93,37 @@ func (s *Slot) Era() uint64 {
 
 // Exit marks the slot inactive.
 func (s *Slot) Exit() { s.packed.Store(0) }
+
+// Drain is the quiesce primitive shared by the CPR state machines and the
+// per-lane rollback fence: it bumps the global era and blocks until every
+// operation that entered under an older era has exited, then returns the
+// drained era. After Drain returns, any state published (with an atomic
+// store) before the call is visible to every subsequent Enter, and no
+// protected operation that began before the bump is still running.
+//
+// Concurrent Drains compose: each bumps the era once and waits for its own
+// target, so overlapping callers all return once the slowest straggler from
+// the oldest era exits. Drain must not be called from inside an
+// Enter/Exit-protected section of the same table — the caller would wait for
+// itself.
+func (t *Table) Drain() uint64 {
+	target := t.Bump()
+	t.WaitObserved(target)
+	return target
+}
+
+// WaitObserved blocks until AllObserved(target) holds. The wait starts with
+// a spin (drains are usually bounded by one in-flight operation) and falls
+// back to short sleeps so a long-running straggler does not burn a core.
+func (t *Table) WaitObserved(target uint64) {
+	for spin := 0; !t.AllObserved(target); spin++ {
+		if spin < 64 {
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(10 * time.Microsecond)
+	}
+}
 
 // AllObserved reports whether every active, registered slot has observed an
 // era >= target. Inactive slots are safe by definition: whenever they next

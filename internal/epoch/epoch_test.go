@@ -142,6 +142,140 @@ func TestConcurrentSafety(t *testing.T) {
 	}
 }
 
+// TestDrainWaitsForStraggler verifies the quiesce contract: Drain must not
+// return while an operation that entered under an older era is still inside
+// its protected section.
+func TestDrainWaitsForStraggler(t *testing.T) {
+	tb := NewTable()
+	slot := tb.Register()
+	inSection := make(chan struct{})
+	release := make(chan struct{})
+	var exited atomic.Bool
+	go func() {
+		slot.Enter()
+		close(inSection)
+		<-release
+		exited.Store(true)
+		slot.Exit()
+	}()
+	<-inSection
+	drained := make(chan uint64, 1)
+	go func() { drained <- tb.Drain() }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a pre-bump operation was still active")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	target := <-drained
+	if !exited.Load() {
+		t.Fatal("Drain returned before the straggler exited")
+	}
+	if !tb.AllObserved(target) {
+		t.Fatalf("era %d not observed after Drain returned", target)
+	}
+}
+
+// TestDrainConcurrentAdvance hammers Drain from several goroutines while
+// worker slots keep entering and exiting: every Drain must return, every
+// returned era must be fully observed at return time, and eras from
+// concurrent drains must be distinct (each Drain bumps exactly once).
+func TestDrainConcurrentAdvance(t *testing.T) {
+	tb := NewTable()
+	const workers = 6
+	const drainers = 4
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slot := tb.Register()
+			defer tb.Unregister(slot)
+			for !stop.Load() {
+				slot.Enter()
+				for j := 0; j < 50; j++ {
+					_ = j
+				}
+				slot.Exit()
+			}
+		}()
+	}
+	eras := make([][]uint64, drainers)
+	for d := 0; d < drainers; d++ {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(100 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				target := tb.Drain()
+				if !tb.AllObserved(target) {
+					t.Errorf("drainer %d: era %d not observed at Drain return", d, target)
+					return
+				}
+				eras[d] = append(eras[d], target)
+			}
+		}()
+	}
+	// Let the drainers finish, then stop the workers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(120 * time.Millisecond)
+	stop.Store(true)
+	<-done
+	seen := make(map[uint64]int)
+	for d := range eras {
+		for _, e := range eras[d] {
+			seen[e]++
+		}
+	}
+	for e, n := range seen {
+		if n > 1 {
+			t.Fatalf("era %d returned by %d drains; each Drain must own its bump", e, n)
+		}
+	}
+}
+
+// TestDrainPublishesState checks the memory-ordering contract Drain is used
+// for: a value atomically published before Drain is visible to every
+// protected section that begins after the drain completes.
+func TestDrainPublishesState(t *testing.T) {
+	tb := NewTable()
+	var fence atomic.Uint64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slot := tb.Register()
+			defer tb.Unregister(slot)
+			for !stop.Load() {
+				era := slot.Enter()
+				// Entering at era e > the era current when fence was set
+				// implies the fence store is visible (Drain bumped after it).
+				if f := fence.Load(); f != 0 && era > f && fence.Load() == 0 {
+					violations.Add(1)
+				}
+				slot.Exit()
+			}
+		}()
+	}
+	for round := 0; round < 50; round++ {
+		fence.Store(tb.Global())
+		tb.Drain()
+		fence.Store(0)
+		tb.Drain()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d fence visibility violations", v)
+	}
+}
+
 func BenchmarkEnterExit(b *testing.B) {
 	tb := NewTable()
 	s := tb.Register()

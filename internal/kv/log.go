@@ -13,6 +13,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"dpr/internal/storage"
 )
@@ -66,6 +67,18 @@ type hlog struct {
 	// begin is the compaction frontier: addresses below it are reclaimed
 	// garbage (0 ≤ begin ≤ head). See compact.go.
 	begin atomic.Int64
+
+	// frozen is the lock-free-read boundary (frozen ≤ readOnly): records
+	// below it can never again be touched by an in-place update, because it
+	// is published only after the checkpoint state machine's post-readOnly
+	// epoch drain (every writer that could still have observed the older
+	// read-only boundary has exited). Epoch-protected readers may therefore
+	// copy values below frozen without the stripe lock: the drain's
+	// synchronizes-with chain (writer Exit → AllObserved → frozen.Store →
+	// reader frozen.Load) makes those plain value bytes happens-before any
+	// lock-free read. 0 means "no frozen region yet" (reads take the locked
+	// path).
+	frozen atomic.Int64
 
 	// allocMu serializes slab creation (not record allocation).
 	allocMu sync.Mutex
@@ -127,15 +140,21 @@ func (l *hlog) allocate(size int) int64 {
 		boundary := (cur>>slabBits + 1) << slabBits
 		if l.tail.CompareAndSwap(cur, boundary) {
 			s := *l.ensureSlab(cur >> slabBits)
-			binary.LittleEndian.PutUint64(s[cur&slabMask:], padMagic)
+			// Atomic: parallel recovery scans read this word while sibling
+			// shards relink prev pointers elsewhere in the slab.
+			word8(s[cur&slabMask:]).Store(padMagic)
 		}
 	}
 }
 
 // recordView provides typed access to a record's header and payload inside a
-// slab. All mutation of header fields and values happens under the owning
-// bucket's lock; immutable fields (key, capacities) are written before the
-// record is published in the index.
+// slab. Values and valLen mutate only under the owning bucket's lock;
+// immutable fields (key, capacities) are written before the record is
+// published in the index. The prev and meta words are accessed atomically
+// (native byte order) so epoch-protected readers can traverse bucket chains
+// and observe in-place meta transitions without the stripe lock, and so the
+// parallel recovery rebuild can relink prev pointers while sibling shards
+// scan the same slabs.
 type recordView struct {
 	buf  []byte // slice of the slab starting at the record
 	addr int64
@@ -149,12 +168,19 @@ func (l *hlog) view(addr int64) (recordView, bool) {
 	return recordView{buf: s[addr&slabMask:], addr: addr}, true
 }
 
-func (r recordView) prev() int64     { return int64(binary.LittleEndian.Uint64(r.buf[0:])) }
-func (r recordView) setPrev(a int64) { binary.LittleEndian.PutUint64(r.buf[0:], uint64(a)) }
-func (r recordView) meta() uint64    { return binary.LittleEndian.Uint64(r.buf[8:]) }
-func (r recordView) setMeta(m uint64) {
-	binary.LittleEndian.PutUint64(r.buf[8:], m)
+// word8 reinterprets 8 bytes of slab memory as an atomic word. Record
+// addresses are 8-aligned within slabs and slab allocations (1 MiB) are
+// page-aligned, so &b[0] is always 8-aligned — the cast is safe on every
+// supported platform.
+func word8(b []byte) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&b[0]))
 }
+
+func (r recordView) prev() int64      { return int64(word8(r.buf[0:]).Load()) }
+func (r recordView) prevRaw() uint64  { return word8(r.buf[0:]).Load() }
+func (r recordView) setPrev(a int64)  { word8(r.buf[0:]).Store(uint64(a)) }
+func (r recordView) meta() uint64     { return word8(r.buf[8:]).Load() }
+func (r recordView) setMeta(m uint64) { word8(r.buf[8:]).Store(m) }
 func (r recordView) keyLen() int { return int(binary.LittleEndian.Uint32(r.buf[16:])) }
 func (r recordView) valCap() int { return int(binary.LittleEndian.Uint32(r.buf[20:])) }
 func (r recordView) valLen() int { return int(binary.LittleEndian.Uint32(r.buf[24:])) }
@@ -188,12 +214,12 @@ func (l *hlog) writeRecord(prev int64, version uint64, tombstone bool, key, val 
 	addr := l.allocate(size)
 	s := l.slab(addr)
 	buf := s[addr&slabMask:]
-	binary.LittleEndian.PutUint64(buf[0:], uint64(prev))
+	word8(buf[0:]).Store(uint64(prev))
 	meta := version & metaVersionMask
 	if tombstone {
 		meta |= metaTombstone
 	}
-	binary.LittleEndian.PutUint64(buf[8:], meta)
+	word8(buf[8:]).Store(meta)
 	binary.LittleEndian.PutUint32(buf[16:], uint32(len(key)))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(valCap))
 	binary.LittleEndian.PutUint32(buf[24:], uint32(len(val)))
@@ -323,8 +349,10 @@ func (l *hlog) readDisk(addr int64) (*diskRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	meta := binary.LittleEndian.Uint64(hdr[8:])
-	if binary.LittleEndian.Uint64(hdr[0:]) == padMagic && meta == 0 {
+	// prev/meta are written native-endian in memory (atomic words) and the
+	// flush copies raw bytes, so the on-device layout is native-endian too.
+	meta := binary.NativeEndian.Uint64(hdr[8:])
+	if binary.NativeEndian.Uint64(hdr[0:]) == padMagic && meta == 0 {
 		return nil, fmt.Errorf("kv: address %d is padding", addr)
 	}
 	keyLen := int(binary.LittleEndian.Uint32(hdr[16:]))
@@ -336,7 +364,7 @@ func (l *hlog) readDisk(addr int64) (*diskRecord, error) {
 	}
 	size := recordHeaderSize + keyLen + valCap
 	return &diskRecord{
-		prev:      int64(binary.LittleEndian.Uint64(hdr[0:])),
+		prev:      int64(binary.NativeEndian.Uint64(hdr[0:])),
 		meta:      meta,
 		key:       payload[:keyLen],
 		value:     payload[keyLen : keyLen+valLen],
@@ -354,12 +382,14 @@ func (l *hlog) scan(start, end int64, fn func(addr int64, r recordView) bool) er
 			return fmt.Errorf("kv: scan range at %d evicted", addr)
 		}
 		buf := s[addr&slabMask:]
-		if binary.LittleEndian.Uint64(buf[0:]) == padMagic &&
-			binary.LittleEndian.Uint64(buf[8:]) == 0 {
+		r := recordView{buf: buf, addr: addr}
+		// Atomic loads: the parallel recovery rebuild runs one scan per index
+		// shard over the same slabs while each shard relinks the prev words
+		// of its own records.
+		if r.prevRaw() == padMagic && r.meta() == 0 {
 			addr = (addr>>slabBits + 1) << slabBits
 			continue
 		}
-		r := recordView{buf: buf, addr: addr}
 		if r.keyLen() == 0 && r.valCap() == 0 && r.meta() == 0 {
 			// Unwritten space (end of allocations within the range).
 			addr = (addr>>slabBits + 1) << slabBits

@@ -173,6 +173,13 @@ func (sess *Session) ReadAppend(arena *[]byte, key []byte, serial uint64) ([]byt
 	ver := st.version()
 	ranges := *s.rolledBack.Load()
 	b := s.index.bucketFor(key)
+
+	// Epoch-protected lock-free fast path: most reads resolve from the
+	// frozen log region without ever touching the stripe lock.
+	if out, status, handled := sess.readLockFree(arena, key, b, ranges); handled {
+		return out, status, ver
+	}
+
 	mu := s.index.lock(b)
 	mu.Lock()
 
@@ -228,6 +235,62 @@ func (sess *Session) ReadAppend(arena *[]byte, key []byte, serial uint64) ([]byt
 		go task()
 	}
 	return nil, StatusPending, ver
+}
+
+// readLockFree is the lock-free read fast path. It runs inside the caller's
+// epoch-protected section and traverses the bucket chain using only atomic
+// loads: the chain head, and each record's prev/meta words. Keys are
+// immutable after publication, and value bytes below the frozen boundary can
+// never be touched by an in-place update again (see hlog.frozen), so a
+// visible frozen match is copied out with no lock at all. handled=false
+// defers to the locked path: a visible match in the mutable region (its
+// value may change in place under the stripe lock), a concurrently evicted
+// slab, a chain descending below the in-memory head (PENDING hand-off), or a
+// store that has not yet published a frozen boundary.
+func (sess *Session) readLockFree(arena *[]byte, key []byte, b uint64, ranges []versionRange) ([]byte, Status, bool) {
+	s := sess.store
+	frozen := s.log.frozen.Load()
+	if frozen == 0 {
+		return nil, StatusNotFound, false
+	}
+	head := s.log.head.Load()
+	addr := s.index.head(b)
+	for addr != nilAddress && addr >= head {
+		r, ok := s.log.view(addr)
+		if !ok {
+			return nil, StatusNotFound, false
+		}
+		if string(r.key()) == string(key) {
+			// One meta load: visibility and tombstone must agree on the same
+			// observed state even if a concurrent in-place writer or PURGE
+			// pass transitions the word.
+			m := r.meta()
+			if m&metaInvalid == 0 && !rangesContain(ranges, core.Version(m&metaVersionMask)) {
+				if addr >= frozen {
+					return nil, StatusNotFound, false
+				}
+				if m&metaTombstone != 0 {
+					return nil, StatusNotFound, true
+				}
+				start := len(*arena)
+				*arena = append(*arena, r.value()...)
+				out := (*arena)[start:len(*arena):len(*arena)]
+				if out == nil {
+					// Empty value read into an empty arena: stay non-nil so
+					// found-but-empty is distinguishable from not-found.
+					out = emptyValue
+				}
+				return out, StatusOK, true
+			}
+		}
+		addr = r.prev()
+	}
+	if addr == nilAddress || addr < s.log.begin.Load() {
+		// End of chain, or only compacted garbage remains: definitively
+		// absent, no lock needed.
+		return nil, StatusNotFound, true
+	}
+	return nil, StatusNotFound, false
 }
 
 // readFromDevice walks the on-device chain suffix starting at addr,

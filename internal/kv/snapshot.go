@@ -40,48 +40,69 @@ func snapBlobName(v core.Version) string { return fmt.Sprintf("snap-%d", v) }
 // writeSnapshot serializes every record live at versions <= target into the
 // snapshot blob and waits for durability. Called from the checkpoint state
 // machine after the version drain: records <= target are frozen, so the scan
-// is consistent. Bucket locks are held briefly per stripe to read chain
-// heads; chain interiors are immutable.
+// is consistent. Index shards are scanned concurrently — each shard goroutine
+// serializes its own buckets into a private buffer under the stripe locks,
+// and the buffers are concatenated in shard order — so a snapshot's CPU cost
+// divides across cores instead of stalling serving behind one linear walk.
 func (s *Store) writeSnapshot(target core.Version, ranges []versionRange) error {
-	var buf []byte
-	var scratch [20]byte
-	count := 0
-	for b := range s.index.buckets {
-		// Hold the bucket lock for the walk: concurrent in-place updates to
-		// current-version records in the same chain touch record metadata.
-		mu := s.index.lock(uint64(b))
-		mu.Lock()
-		head := s.index.head(uint64(b))
-		seen := map[string]bool{}
-		memHead := s.log.head.Load()
-		for addr := head; addr != nilAddress && addr >= memHead; {
-			r, ok := s.log.view(addr)
-			if !ok {
-				break
-			}
-			key := r.key()
-			ver := core.Version(r.version())
-			if !seen[string(key)] && ver <= target &&
-				!rangesContain(ranges, ver) && !r.invalid() {
-				seen[string(key)] = true
-				if !r.tombstone() {
-					binary.LittleEndian.PutUint32(scratch[0:], uint32(len(key)))
-					binary.LittleEndian.PutUint32(scratch[4:], uint32(r.valLen()))
-					binary.LittleEndian.PutUint64(scratch[8:], uint64(ver))
-					buf = append(buf, scratch[:16]...)
-					buf = append(buf, key...)
-					buf = append(buf, r.value()...)
-					count++
+	nshards := s.index.shardCount()
+	bufs := make([][]byte, nshards)
+	counts := make([]int, nshards)
+	s.index.forEachShard(func(si int) {
+		var buf []byte
+		var scratch [20]byte
+		count := 0
+		sh := &s.index.shards[si]
+		for b := range sh.buckets {
+			h := s.index.handle(si, b)
+			// Hold the bucket lock for the walk: concurrent in-place updates
+			// to current-version records in the same chain touch record
+			// values and lengths.
+			mu := s.index.lock(h)
+			mu.Lock()
+			head := s.index.head(h)
+			seen := map[string]bool{}
+			memHead := s.log.head.Load()
+			for addr := head; addr != nilAddress && addr >= memHead; {
+				r, ok := s.log.view(addr)
+				if !ok {
+					break
 				}
+				key := r.key()
+				ver := core.Version(r.version())
+				if !seen[string(key)] && ver <= target &&
+					!rangesContain(ranges, ver) && !r.invalid() {
+					seen[string(key)] = true
+					if !r.tombstone() {
+						binary.LittleEndian.PutUint32(scratch[0:], uint32(len(key)))
+						binary.LittleEndian.PutUint32(scratch[4:], uint32(r.valLen()))
+						binary.LittleEndian.PutUint64(scratch[8:], uint64(ver))
+						buf = append(buf, scratch[:16]...)
+						buf = append(buf, key...)
+						buf = append(buf, r.value()...)
+						count++
+					}
+				}
+				addr = r.prev()
 			}
-			addr = r.prev()
+			mu.Unlock()
 		}
-		mu.Unlock()
+		bufs[si] = buf
+		counts[si] = count
+	})
+	total := 0
+	size := 8
+	for si := range bufs {
+		total += counts[si]
+		size += len(bufs[si])
 	}
 	// Header: record count, then the records.
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint64(hdr, uint64(count))
-	if err := s.writeBlobSync(snapBlobName(target), append(hdr, buf...)); err != nil {
+	out := make([]byte, 8, size)
+	binary.LittleEndian.PutUint64(out, uint64(total))
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	if err := s.writeBlobSync(snapBlobName(target), out); err != nil {
 		return err
 	}
 	return nil

@@ -70,6 +70,12 @@ func rangesContain(ranges []versionRange, v core.Version) bool {
 type Config struct {
 	// BucketCount sizes the hash index (rounded up to a power of two).
 	BucketCount int
+	// IndexShards splits the hash index into independent partitions (rounded
+	// up to a power of two) so concurrent execution lanes contend only within
+	// a shard and whole-index passes (PURGE, snapshot scans, recovery
+	// rebuild) parallelize shard-by-shard. 0 selects a default sized to
+	// runtime.GOMAXPROCS, capped at 16.
+	IndexShards int
 	// MemoryBudget caps the in-memory log size in bytes; older flushed
 	// regions are evicted to the device and served via PENDING reads.
 	// 0 means unbounded (nothing is ever evicted).
@@ -119,6 +125,11 @@ type Store struct {
 
 	evicting atomic.Bool
 
+	// drainObs, when set, observes the latency of every epoch drain (the
+	// store's only stall-like primitive); the serving layer wires it to a
+	// metrics histogram without kv importing the obs package.
+	drainObs atomic.Pointer[func(time.Duration)]
+
 	// stats
 	checkpointCount atomic.Uint64
 	rollbackCount   atomic.Uint64
@@ -136,7 +147,7 @@ func NewStore(device storage.Device, cfg Config) *Store {
 		cfg:       cfg,
 		device:    device,
 		log:       newHlog(device, cfg.Blob),
-		index:     newIndex(cfg.BucketCount),
+		index:     newIndex(cfg.BucketCount, cfg.IndexShards),
 		epochs:    epoch.NewTable(),
 		pendingCh: make(chan func(), 1024),
 		closed:    make(chan struct{}),
@@ -203,13 +214,25 @@ func (s *Store) RolledBackRanges() []versionRange {
 	return append([]versionRange(nil), (*s.rolledBack.Load())...)
 }
 
-// waitDrain bumps the epoch era and spins until every operation that entered
+// waitDrain bumps the epoch era and waits until every operation that entered
 // before the bump has exited — the fuzzy boundary primitive of CPR.
 func (s *Store) waitDrain() {
-	target := s.epochs.Bump()
-	for !s.epochs.AllObserved(target) {
-		time.Sleep(10 * time.Microsecond)
+	start := time.Now()
+	s.epochs.Drain()
+	if f := s.drainObs.Load(); f != nil {
+		(*f)(time.Since(start))
 	}
+}
+
+// OnDrain installs an observer called with the duration of every epoch drain
+// (checkpoint boundaries, rollback fences, eviction, compaction). Pass nil to
+// remove. Used by the serving layer to export drain latency on /metrics.
+func (s *Store) OnDrain(fn func(time.Duration)) {
+	if fn == nil {
+		s.drainObs.Store(nil)
+		return
+	}
+	s.drainObs.Store(&fn)
 }
 
 // BeginCommit implements core.StateObject: it starts a non-blocking
@@ -306,6 +329,10 @@ func (s *Store) runCheckpoint() core.Version {
 	// Drain again so no in-flight operation still performs in-place updates
 	// below the new read-only boundary (it may have read the old boundary).
 	s.waitDrain()
+	// Every writer that could touch bytes below boundary has now exited, and
+	// the drain ordered their writes before this store: publish the lock-free
+	// read boundary (see hlog.frozen).
+	s.log.frozen.Store(boundary)
 
 	s.st.Store(uint64(makeState(PhaseWaitFlush, target+1)))
 	flushDone := make(chan error, 1)
@@ -390,26 +417,32 @@ func (s *Store) Restore(v core.Version) error {
 }
 
 // purge walks every bucket chain and sets the invalid bit on records whose
-// version lies in (lo, hi]. Runs under bucket locks, a stripe at a time.
+// version lies in (lo, hi]. Runs under bucket locks, a stripe at a time, and
+// in parallel across index shards (each goroutine confines itself to one
+// shard's buckets; the invalid-bit writes are atomic meta stores).
 func (s *Store) purge(lo, hi core.Version) {
 	head := s.log.head.Load()
-	for b := range s.index.buckets {
-		mu := s.index.lock(uint64(b))
-		mu.Lock()
-		addr := s.index.head(uint64(b))
-		for addr != nilAddress && addr >= head {
-			r, ok := s.log.view(addr)
-			if !ok {
-				break
+	s.index.forEachShard(func(si int) {
+		sh := &s.index.shards[si]
+		for b := range sh.buckets {
+			h := s.index.handle(si, b)
+			mu := s.index.lock(h)
+			mu.Lock()
+			addr := s.index.head(h)
+			for addr != nilAddress && addr >= head {
+				r, ok := s.log.view(addr)
+				if !ok {
+					break
+				}
+				ver := core.Version(r.version())
+				if ver > lo && ver <= hi && !r.invalid() {
+					r.setMeta(r.meta() | metaInvalid)
+				}
+				addr = r.prev()
 			}
-			ver := core.Version(r.version())
-			if ver > lo && ver <= hi && !r.invalid() {
-				r.setMeta(r.meta() | metaInvalid)
-			}
-			addr = r.prev()
+			mu.Unlock()
 		}
-		mu.Unlock()
-	}
+	})
 }
 
 // maybeEvict advances the head past flushed regions when the in-memory log
@@ -584,6 +617,9 @@ func Recover(device storage.Device, cfg Config, v core.Version) (*Store, error) 
 	s.log.readOnly.Store(meta.Boundary)
 	s.log.flushedUntil.Store(meta.Boundary)
 	s.log.begin.Store(meta.Begin)
+	// The recovered prefix is immutable (readOnly == tail), so lock-free
+	// reads may serve from all of it immediately.
+	s.log.frozen.Store(meta.Boundary)
 
 	// Visibility: checkpoint-recorded rollbacks plus everything after v.
 	ranges := append([]versionRange(nil), meta.Ranges...)
@@ -592,20 +628,31 @@ func Recover(device storage.Device, cfg Config, v core.Version) (*Store, error) 
 	}
 	s.rolledBack.Store(&ranges)
 
-	// Rebuild the index by a forward scan, linking only visible records.
-	err = s.log.scan(meta.Begin, meta.Boundary, func(addr int64, r recordView) bool {
-		ver := core.Version(r.version())
-		if ver > v || rangesContain(ranges, ver) || r.invalid() {
+	// Rebuild the index with one forward scan per shard, in parallel: every
+	// scan walks the whole recovered prefix but links only the records that
+	// hash into its own shard, so the rebuild's pointer writes are disjoint
+	// (scans read the shared prev/meta words atomically; see recordView).
+	errs := make([]error, s.index.shardCount())
+	s.index.forEachShard(func(si int) {
+		errs[si] = s.log.scan(meta.Begin, meta.Boundary, func(addr int64, r recordView) bool {
+			ver := core.Version(r.version())
+			if ver > v || rangesContain(ranges, ver) || r.invalid() {
+				return true
+			}
+			b := s.index.bucketFor(r.key())
+			if int(b>>48) != si {
+				return true
+			}
+			r.setPrev(s.index.head(b))
+			s.index.setHead(b, addr)
 			return true
-		}
-		b := s.index.bucketFor(r.key())
-		r.setPrev(s.index.head(b))
-		s.index.setHead(b, addr)
-		return true
+		})
 	})
-	if err != nil {
-		s.Close()
-		return nil, err
+	for _, e := range errs {
+		if e != nil {
+			s.Close()
+			return nil, e
+		}
 	}
 	s.persisted.Store(uint64(v))
 	s.st.Store(uint64(makeState(PhaseRest, latest+1)))

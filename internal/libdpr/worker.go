@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dpr/internal/core"
+	"dpr/internal/epoch"
 	"dpr/internal/metadata"
 	"dpr/internal/obs"
 )
@@ -118,24 +119,37 @@ type Worker struct {
 	// case within a refresh interval.
 	lastDep atomic.Pointer[versionDep]
 
-	// execMu fences rollbacks against in-flight batch execution: batches
-	// hold it shared from guarded admission to release, Rollback holds it
-	// exclusive. Without this a Restore can interleave with an admitted
-	// batch and the batch's effects land on post-rollback state — operations
-	// from a rolled-back world-line leaking into the new one. Exclusive
-	// acquisition also serializes Rollback itself: the cluster manager's
-	// rollback message and the worker's metadata-poll self-heal can race for
-	// the same world-line, and a duplicate Restore would silently erase
-	// operations executed between the two calls.
+	// exec + rbFence + rbMu fence rollbacks against in-flight batch
+	// execution without a shared mutex on the hot path. Every execution lane
+	// (one per serving connection/core) owns an epoch slot in exec; a batch
+	// pins its lane's slot from guarded admission to release. Rollback
+	// publishes the target world-line in rbFence and then drains exec:
+	// because the fence store precedes the drain's era bump and a batch
+	// loads rbFence after entering its slot, any batch that misses the fence
+	// necessarily entered under the pre-bump era and is waited out by the
+	// drain, while any batch entering after the bump necessarily sees the
+	// fence and backs off — in-flight effects are fully applied before the
+	// restore decides what survives, and no new batch starts until it
+	// completes. This replaces the former execMu RWMutex, whose shared
+	// reader count was the last cross-core serialization point on the batch
+	// path.
 	//
-	// Lock order: execMu is the outermost worker lock — the session gate
-	// and the bookkeeping locks are only ever taken under it (admission) or
-	// with it exclusive (rollback), never the other way around.
+	// rbMu serializes Rollback itself: the cluster manager's rollback
+	// message and the worker's metadata-poll self-heal can race for the same
+	// world-line, and a duplicate Restore would silently erase operations
+	// executed between the two calls. rbMu is the outermost worker lock —
+	// the bookkeeping locks are only ever taken under it during rollback,
+	// never the other way around. The session gate is never held together
+	// with rbMu; admission pins a lane slot (not a lock) around it.
 	//
-	//dpr:lockorder libdpr.Worker.execMu < libdpr.sessionGate.mu
-	//dpr:lockorder libdpr.Worker.execMu < libdpr.Worker.depsMu
-	//dpr:lockorder libdpr.Worker.execMu < libdpr.Worker.cutMu
-	execMu sync.RWMutex
+	//dpr:lockorder libdpr.Worker.rbMu < libdpr.Worker.depsMu
+	//dpr:lockorder libdpr.Worker.rbMu < libdpr.Worker.cutMu
+	exec    *epoch.Table
+	rbFence atomic.Uint64
+	rbMu    sync.Mutex
+	// rollbackDrainH observes how long each rollback fence drain waited for
+	// in-flight batches.
+	rollbackDrainH *obs.Histogram
 
 	// gates holds one execution gate per client session (keyed by
 	// BatchHeader.SessionID): batches of one session are serialized and
@@ -187,6 +201,7 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 		wl:   core.NewWorldLineTracker(wl),
 		deps: make(map[core.Version]map[core.Token]struct{}),
 		cut:  make(core.Cut),
+		exec: epoch.NewTable(),
 		stop: make(chan struct{}),
 	}
 	snap := &cutSnapshot{wl: wl, cut: make(core.Cut)}
@@ -246,6 +261,8 @@ func (w *Worker) registerObs() {
 		"Batches rejected by the session sequence fence (late redelivery).", lbl)
 	w.fastForwardsC = reg.Counter("dpr_worker_version_fast_forwards_total",
 		"Admissions that forced a commit to satisfy the progress rule.", lbl)
+	w.rollbackDrainH = reg.Histogram("dpr_worker_rollback_drain_seconds",
+		"Time each rollback fence drain waited for in-flight batches.", lbl)
 }
 
 // cutPositions returns this worker's position in its cached cut and the
@@ -373,25 +390,66 @@ func (w *Worker) AdmitBatch(h BatchHeader) (core.WorldLine, error) {
 	return w.wl.Current(), nil
 }
 
+// ExecLane is one execution lane's registration in the worker's rollback
+// fence: an epoch slot a batch pins for the duration of its execution. The
+// serving layer creates one lane per connection (or per core) — lanes on
+// different cores never write the same cache line on the batch hot path,
+// unlike the former shared RWMutex reader count. A lane must not be used by
+// two batches concurrently (connections are already sequential).
+type ExecLane struct {
+	w    *Worker
+	slot *epoch.Slot
+}
+
+// NewLane registers an execution lane. Close it when the connection ends.
+func (w *Worker) NewLane() *ExecLane {
+	return &ExecLane{w: w, slot: w.exec.Register()}
+}
+
+// Close unregisters the lane from rollback-fence accounting.
+func (l *ExecLane) Close() { l.w.exec.Unregister(l.slot) }
+
 // AdmitBatchGuarded is AdmitBatch plus the execution guard: on success the
-// admission is pinned until ReleaseBatch — rollbacks are held off (shared
-// execMu) and the session's gate is held, so same-session batches execute
-// strictly in sequence order and a stale batch from an abandoned connection
-// is rejected with ErrStaleBatch instead of clobbering newer state. Every
-// successful call MUST be paired with ReleaseBatch(h, executed): executed
+// admission is pinned until ReleaseBatch — rollbacks are held off (the
+// lane's epoch slot is entered, and the rollback fence drains all lanes) and
+// the session's gate is held, so same-session batches execute strictly in
+// sequence order and a stale batch from an abandoned connection is rejected
+// with ErrStaleBatch instead of clobbering newer state. Every successful
+// call MUST be paired with ReleaseBatch(h, lane, executed): executed
 // advances the session fence; pass false when the batch was refused after
 // admission (e.g. ownership) so the client can retransmit the same numbers.
-func (w *Worker) AdmitBatchGuarded(h BatchHeader) (core.WorldLine, error) {
+func (w *Worker) AdmitBatchGuarded(h BatchHeader, lane *ExecLane) (core.WorldLine, error) {
 	wl, err := w.AdmitBatch(h)
 	if err != nil {
 		return wl, err
 	}
-	w.execMu.RLock()
-	// Recheck under the guard: a rollback may have advanced the world-line
-	// between admission and here, and this batch would execute against
+	// Pin the lane, then check the fence. The order matters: Rollback stores
+	// the fence before bumping the era it drains, so (sequentially consistent
+	// atomics) a batch that loads a zero fence entered its slot under the
+	// pre-bump era and the drain waits it out; a batch entering post-bump
+	// sees the fence and backs off here.
+	var deadline time.Time
+	for {
+		lane.slot.Enter()
+		if w.rbFence.Load() == 0 {
+			break
+		}
+		lane.slot.Exit()
+		if deadline.IsZero() {
+			deadline = time.Now().Add(w.cfg.AdmitTimeout)
+		} else if time.Now().After(deadline) {
+			w.rejectedC.Inc()
+			cur := w.wl.Current()
+			w.trace.Record(obs.EvBatchRejected, uint64(cur), uint64(h.WorldLine), 0)
+			return cur, fmt.Errorf("%w (rollback fence held past admit timeout)", ErrBatchRejected)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	// Recheck under the guard: a rollback may have completed between
+	// admission and the slot entry, and this batch would execute against
 	// post-rollback state.
 	if cur := w.wl.Current(); cur > h.WorldLine {
-		w.execMu.RUnlock()
+		lane.slot.Exit()
 		w.rejectedC.Inc()
 		w.trace.Record(obs.EvBatchRejected, uint64(cur), uint64(h.WorldLine), 0)
 		return cur, fmt.Errorf("%w (worker at %d, batch at %d)", ErrBatchRejected, cur, h.WorldLine)
@@ -405,17 +463,17 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader) (core.WorldLine, error) {
 	if h.SeqStart < g.next {
 		fence := g.next
 		g.mu.Unlock()
-		w.execMu.RUnlock()
+		lane.slot.Exit()
 		w.staleC.Inc()
 		w.trace.Record(obs.EvBatchStale, h.SessionID, fence, h.SeqStart)
 		return wl, fmt.Errorf("%w (session %d fenced at seq %d, batch starts at %d)",
 			ErrStaleBatch, h.SessionID, fence, h.SeqStart)
 	}
-	return wl, nil //dpr:ignore mutex-discipline guarded admission: success deliberately returns holding execMu.RLock and the session gate; ReleaseBatch is the paired release
+	return wl, nil //dpr:ignore mutex-discipline guarded admission: success deliberately returns holding the lane's epoch slot and the session gate; ReleaseBatch is the paired release
 }
 
 // ReleaseBatch ends the execution pinned by a successful AdmitBatchGuarded.
-func (w *Worker) ReleaseBatch(h BatchHeader, executed bool) {
+func (w *Worker) ReleaseBatch(h BatchHeader, lane *ExecLane, executed bool) {
 	g := w.gate(h.SessionID)
 	if executed {
 		if end := h.SeqStart + uint64(h.NumOps); end > g.next {
@@ -423,7 +481,7 @@ func (w *Worker) ReleaseBatch(h BatchHeader, executed bool) {
 		}
 	}
 	g.mu.Unlock()
-	w.execMu.RUnlock()
+	lane.slot.Exit()
 }
 
 // cutSnapshot is an immutable (world-line, cut, pre-encoded cut) triple. It
@@ -524,15 +582,25 @@ func (w *Worker) TriggerCommit() error {
 // every surviving worker during failure recovery (§4.1). Idempotent per
 // world-line.
 func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
-	// Exclusive execMu: waits out in-flight batch executions (their effects
-	// belong to the old world-line and must be fully applied before the
-	// restore decides what survives) and blocks new ones until the restore
-	// completes. Also serializes concurrent Rollback calls.
-	w.execMu.Lock()
-	defer w.execMu.Unlock()
+	// rbMu serializes concurrent Rollback calls: the cluster manager's
+	// rollback message and the worker's metadata-poll self-heal can race
+	// for the same world-line, and a duplicate Restore would silently erase
+	// operations executed between the two calls.
+	w.rbMu.Lock()
+	defer w.rbMu.Unlock()
 	if wl <= w.wl.Current() {
 		return nil
 	}
+	// Raise the rollback fence, then drain every execution lane: in-flight
+	// batch executions belong to the old world-line and must be fully
+	// applied before the restore decides what survives, and no new batch
+	// may start until it completes. See the exec/rbFence field comment for
+	// the ordering argument.
+	w.rbFence.Store(uint64(wl))
+	defer w.rbFence.Store(0)
+	drainStart := time.Now()
+	w.exec.Drain()
+	w.rollbackDrainH.Observe(time.Since(drainStart))
 	w.trace.Record(obs.EvRollbackBegin, uint64(wl), uint64(cut.Get(w.cfg.ID)), 0)
 	if err := w.so.Restore(cut.Get(w.cfg.ID)); err != nil {
 		return err
