@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet dpr-vet test race fuzz bench bench-scaling
+.PHONY: check build vet dpr-vet test race fuzz bench bench-scaling bench-scale scale-smoke
 
 # The full pre-commit gate, in the order CI runs it.
 check: build vet dpr-vet test
@@ -39,3 +39,18 @@ bench:
 # (compare ops/s across the -cpu column; allocs/op must stay 0 throughout).
 bench-scaling:
 	$(GO) test -bench 'ServeBatch$$' -cpu 1,2,4,8 -benchmem -run '^$$' -benchtime 2s ./internal/dfaster
+
+# Metadata-plane scale curve: one commit cycle (activation burst, checkpoint
+# reports, cut publication, fold, evict) at 10k, 100k, and 1M sessions with
+# a constant active set, plus the single-session rehydrate round trip. The
+# scale criterion (pinned in EXPERIMENTS.md): 1M within 10x of 10k, and
+# allocs/round identical across population sizes.
+bench-scale:
+	$(GO) test -bench 'CutRound|RehydrateEvict' -benchtime 30x -run '^$$' \
+		-timeout 20m ./internal/scale
+
+# The 100k-session harness under the race detector — the PR-triggered CI
+# smoke for changes touching the metadata plane.
+scale-smoke:
+	SCALE_SESSIONS=100000 $(GO) test -race -run 'TestScale|TestIdleFootprint|TestRehydrate' \
+		-v -timeout 15m ./internal/scale

@@ -230,11 +230,18 @@ func TestChaosCheckerCatchesViolation(t *testing.T) {
 	}
 	t.Logf("injected skipped rollback on world-line %d: good cut %v, applied cut %v", wl, good, bad)
 
-	// Let the session learn about the new world-line and acknowledge it.
+	// Let the session learn about the new world-line. A fully-settled
+	// session loses nothing to the (advertised, correct) recovered cut, so
+	// the transition is lossless and surfaces no survival error — it simply
+	// adopts the new world-line; only the end-to-end read-back can notice
+	// the skipped rollback.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if _, err := r.client.Session().RefreshCommit(); err != nil {
 			r.handleErr(err)
+			break
+		}
+		if r.client.Session().Tracker().WorldLine() >= wl {
 			break
 		}
 		if time.Now().After(deadline) {

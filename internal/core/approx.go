@@ -19,6 +19,22 @@ type ApproximateFinder struct {
 	persisted map[WorkerID]Version
 	cut       Cut
 	maxV      Version
+	// vmin/atMin maintain min(persisted) incrementally: vmin is the current
+	// minimum and atMin counts the workers sitting exactly at it. A report
+	// that lifts a non-minimal worker is O(1); one that lifts the last
+	// worker off the minimum rescans once — amortized O(1) per report
+	// instead of the former O(workers) table scan, which dominated cut
+	// latency once the cluster grew to thousands of shards.
+	vmin  Version
+	atMin int
+	// departed maps a removed worker to its final persisted version. A
+	// worker is only deregistered once empty (its persisted prefix may
+	// still be depended on, its unpersisted suffix may not), so after
+	// removal the remaining cluster can commit tokens that depend on that
+	// prefix. The departed worker's cut position therefore keeps tracking
+	// Vmin up to this cap — otherwise the cut stops being dependency-closed
+	// the moment Vmin overtakes a departed laggard.
+	departed map[WorkerID]Version
 }
 
 // NewApproximateFinder returns an empty ApproximateFinder.
@@ -26,6 +42,7 @@ func NewApproximateFinder() *ApproximateFinder {
 	return &ApproximateFinder{
 		persisted: make(map[WorkerID]Version),
 		cut:       make(Cut),
+		departed:  make(map[WorkerID]Version),
 	}
 }
 
@@ -36,16 +53,38 @@ func (f *ApproximateFinder) AddWorker(w WorkerID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, ok := f.persisted[w]; !ok {
-		f.persisted[w] = 0
+		// A departed cap, if any, stays: the first incarnation's persisted
+		// prefix may still be depended on, and this incarnation's row
+		// restarts at 0 — it gates Vmin again independently of the cap.
+		f.setPersistedLocked(w, 0)
 	}
 }
 
-// RemoveWorker drops w's row; the cut keeps its last position for w.
+// RemoveWorker drops w's row. With the laggard gone, Vmin — and with it
+// every remaining worker's cut position — may advance; w's own cut position
+// keeps following Vmin up to its final persisted version (see departed).
 func (f *ApproximateFinder) RemoveWorker(w WorkerID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	old, ok := f.persisted[w]
+	if !ok {
+		return
+	}
 	delete(f.persisted, w)
-	f.recomputeLocked()
+	if old > f.cut[w] {
+		// Never lower an existing cap: a re-added incarnation's row restarts
+		// at 0, so a quick remove could otherwise shrink the first
+		// incarnation's still-outstanding obligation.
+		if cur, capped := f.departed[w]; !capped || old > cur {
+			f.departed[w] = old
+		}
+	}
+	if old == f.vmin {
+		f.atMin--
+		if f.atMin == 0 {
+			f.rescanMinLocked()
+		}
+	}
 }
 
 // Report records that w persisted v. Dependency information is discarded.
@@ -53,19 +92,48 @@ func (f *ApproximateFinder) Report(w WorkerID, v Version, _ []Token) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if v > f.persisted[w] {
-		f.persisted[w] = v
+		f.setPersistedLocked(w, v)
 	}
 	if v > f.maxV {
 		f.maxV = v
 	}
-	f.recomputeLocked()
 }
 
-// recomputeLocked sets every registered worker's cut position to Vmin
-// (SELECT min(persistedVersion) FROM dpr). Positions never regress: a worker
-// that already reported past an old Vmin keeps its recoverability.
-func (f *ApproximateFinder) recomputeLocked() {
+// setPersistedLocked updates w's row to v and maintains vmin/atMin and the
+// cut. Caller holds f.mu and guarantees v is an increase (or an insert).
+func (f *ApproximateFinder) setPersistedLocked(w WorkerID, v Version) {
+	old, existed := f.persisted[w]
+	f.persisted[w] = v
+	switch {
+	case len(f.persisted) == 1: // first row
+		f.vmin, f.atMin = v, 1
+		f.applyMinLocked()
+	case !existed: // new row: may lower (never raise) Vmin
+		if v < f.vmin {
+			f.vmin, f.atMin = v, 1
+		} else if v == f.vmin {
+			f.atMin++
+		}
+		// Every registered worker's prefix up to Vmin is in the cut; that
+		// includes the new row regardless of its own persisted position.
+		if f.vmin > f.cut[w] {
+			f.cut[w] = f.vmin
+		}
+	default: // existing row rose: Vmin advances once its last holder leaves
+		if old == f.vmin {
+			f.atMin--
+			if f.atMin == 0 {
+				f.rescanMinLocked()
+			}
+		}
+	}
+}
+
+// rescanMinLocked recomputes vmin/atMin with a full scan (only when the last
+// worker left the old minimum) and folds the new minimum into the cut.
+func (f *ApproximateFinder) rescanMinLocked() {
 	if len(f.persisted) == 0 {
+		f.vmin, f.atMin = 0, 0
 		return
 	}
 	vmin := Version(1<<63 - 1)
@@ -74,9 +142,40 @@ func (f *ApproximateFinder) recomputeLocked() {
 			vmin = v
 		}
 	}
+	f.atMin = 0
+	for _, v := range f.persisted {
+		if v == vmin {
+			f.atMin++
+		}
+	}
+	f.vmin = vmin
+	f.applyMinLocked()
+}
+
+// applyMinLocked raises every registered worker's cut position to Vmin
+// (SELECT min(persistedVersion) FROM dpr). Positions never regress: a worker
+// that already reported past an old Vmin keeps its recoverability. Runs only
+// when Vmin actually advances, so its O(workers) cost is amortized over the
+// full round of reports that produced the advance.
+func (f *ApproximateFinder) applyMinLocked() {
+	if f.vmin == 0 {
+		return
+	}
 	for w := range f.persisted {
-		if vmin > f.cut[w] {
-			f.cut[w] = vmin
+		if f.vmin > f.cut[w] {
+			f.cut[w] = f.vmin
+		}
+	}
+	for w, cap := range f.departed {
+		pos := f.vmin
+		if pos >= cap {
+			// The whole persisted prefix of the departed worker is now in
+			// the cut; its position is final.
+			pos = cap
+			delete(f.departed, w)
+		}
+		if pos > f.cut[w] {
+			f.cut[w] = pos
 		}
 	}
 }
@@ -88,6 +187,16 @@ func (f *ApproximateFinder) CurrentCut() Cut {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.cut.Clone()
+}
+
+// MergeCutInto raises dst to include this finder's cut without cloning,
+// returning true if any position advanced.
+//
+//dpr:ignore cut-worldline finder cuts are world-line-local; metadata.Store tags them before they travel
+func (f *ApproximateFinder) MergeCutInto(dst Cut) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return dst.Merge(f.cut)
 }
 
 // MaxVersion returns Vmax, the largest persisted version in the table.

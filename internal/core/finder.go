@@ -47,8 +47,13 @@ type ExactFinder struct {
 	maxV    Version
 	// frontier holds durable tokens not yet in the cut, per worker, in
 	// version order; the finder repeatedly tries to extend each worker's
-	// prefix.
+	// prefix. A worker with no unfolded tokens has NO entry — the advance
+	// scan iterates only workers with outstanding work (the active
+	// frontier), so a report costs O(active), not O(every worker ever seen).
 	frontier map[WorkerID][]Token
+	// advanced is a reusable scratch set of workers whose cut position moved
+	// during one advance pass; only those workers' graph regions are pruned.
+	advanced map[WorkerID]struct{}
 }
 
 // NewExactFinder returns an ExactFinder with an empty history.
@@ -58,6 +63,7 @@ func NewExactFinder() *ExactFinder {
 		cut:      make(Cut),
 		workers:  make(map[WorkerID]bool),
 		frontier: make(map[WorkerID][]Token),
+		advanced: make(map[WorkerID]struct{}),
 	}
 }
 
@@ -73,11 +79,16 @@ func (f *ExactFinder) AddWorker(w WorkerID) {
 	}
 }
 
-// RemoveWorker deregisters w.
+// RemoveWorker deregisters w. The worker's reported versions remain in the
+// cut and in the graph (other workers' closures may still depend on them),
+// but its unfolded frontier is dropped: a departed worker no longer extends
+// its own prefix, and a later incarnation re-adding the same id must not be
+// blocked behind stale tokens whose dependencies will never resolve.
 func (f *ExactFinder) RemoveWorker(w WorkerID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.workers, w)
+	delete(f.frontier, w)
 }
 
 // Report records a persisted version and immediately attempts to advance the
@@ -100,7 +111,10 @@ func (f *ExactFinder) Report(w WorkerID, v Version, deps []Token) {
 // advanceLocked implements FindDpr: for each frontier token in version order,
 // build its dependency set; if fully durable, fold the closure into the cut.
 // Repeats until no token can be added (a closure admitted for one worker can
-// unblock another's).
+// unblock another's). Only workers with outstanding frontier tokens are
+// visited, and only workers whose cut position advanced are pruned — a
+// report's cost is proportional to the active frontier, never to the total
+// number of workers or tokens ever seen.
 func (f *ExactFinder) advanceLocked() {
 	for {
 		progressed := false
@@ -115,11 +129,18 @@ func (f *ExactFinder) advanceLocked() {
 				for _, ct := range closure {
 					if ct.Version > f.cut[ct.Worker] {
 						f.cut[ct.Worker] = ct.Version
+						f.advanced[ct.Worker] = struct{}{}
 					}
 				}
+				// A token already covered by the cut produced an empty
+				// closure; its graph region is reclaimed by the prune below.
+				f.advanced[w] = struct{}{}
 				progressed = true
 			}
-			if i > 0 {
+			switch {
+			case i == len(pending):
+				delete(f.frontier, w)
+			case i > 0:
 				f.frontier[w] = pending[i:]
 			}
 		}
@@ -127,7 +148,10 @@ func (f *ExactFinder) advanceLocked() {
 			break
 		}
 	}
-	f.graph.PruneBelow(f.cut)
+	for w := range f.advanced {
+		f.graph.PruneWorkerBelow(w, f.cut[w])
+		delete(f.advanced, w)
+	}
 }
 
 // CurrentCut returns a copy of the latest cut.
@@ -144,6 +168,17 @@ func (f *ExactFinder) MaxVersion() Version {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.maxV
+}
+
+// MergeCutInto raises dst to include this finder's cut without cloning,
+// returning true if any position advanced. Used by HybridFinder to refresh
+// its merged cut allocation-free on every report.
+//
+//dpr:ignore cut-worldline finder cuts are world-line-local; metadata.Store tags them before they travel
+func (f *ExactFinder) MergeCutInto(dst Cut) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return dst.Merge(f.cut)
 }
 
 // GraphSize reports the number of tokens currently retained (frontier not yet

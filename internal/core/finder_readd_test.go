@@ -1,0 +1,211 @@
+package core
+
+import "testing"
+
+// finderUnderTest adapts the three finders to one test table.
+type finderUnderTest struct {
+	name string
+	mk   func() Finder
+}
+
+func findersUnderTest() []finderUnderTest {
+	return []finderUnderTest{
+		{"exact", func() Finder { return NewExactFinder() }},
+		{"approximate", func() Finder { return NewApproximateFinder() }},
+		{"hybrid", func() Finder { return NewHybridFinder() }},
+	}
+}
+
+// TestRemoveLaggardAdvancesCut: removing the worker pinning the cut must let
+// the remaining workers' positions advance — and the departed worker's own
+// position must advance to cover its persisted prefix (others may depend on
+// it), never beyond.
+func TestRemoveLaggardAdvancesCut(t *testing.T) {
+	for _, fut := range findersUnderTest() {
+		fut := fut
+		t.Run(fut.name, func(t *testing.T) {
+			f := fut.mk()
+			for w := WorkerID(1); w <= 3; w++ {
+				f.AddWorker(w)
+			}
+			// Worker 3 is the laggard: persisted 2 while 1 and 2 reach 5.
+			for v := Version(1); v <= 5; v++ {
+				f.Report(1, v, nil)
+				f.Report(2, v, nil)
+				if v <= 2 {
+					f.Report(3, v, nil)
+				}
+			}
+			f.RemoveWorker(3)
+			// Post-removal reports flush the advance in all finders.
+			f.Report(1, 6, nil)
+			f.Report(2, 6, nil)
+			cut := f.CurrentCut()
+			if cut.Get(1) < 5 || cut.Get(2) < 5 {
+				t.Fatalf("cut %v still gated by removed laggard", cut)
+			}
+			if got := cut.Get(3); got != 2 {
+				t.Fatalf("departed worker position = %d, want its persisted prefix 2", got)
+			}
+		})
+	}
+}
+
+// TestReAddGatesCut: a re-added worker's own cut position must not advance
+// past its old prefix until its new incarnation reports — it is a registered
+// member with an empty row again.
+func TestReAddGatesCut(t *testing.T) {
+	for _, fut := range findersUnderTest() {
+		fut := fut
+		t.Run(fut.name, func(t *testing.T) {
+			f := fut.mk()
+			f.AddWorker(1)
+			f.AddWorker(2)
+			f.Report(1, 3, nil)
+			f.Report(2, 3, nil)
+			f.RemoveWorker(2)
+			f.AddWorker(2) // re-join, nothing reported yet
+			f.Report(1, 9, nil)
+			cut := f.CurrentCut()
+			if got := cut.Get(2); got > 3 {
+				t.Fatalf("cut %v advanced a re-added silent worker past its old prefix", cut)
+			}
+			// Once the new incarnation reports, everything advances again.
+			f.Report(2, 9, nil)
+			f.Report(1, 10, nil)
+			f.Report(2, 10, nil)
+			cut = f.CurrentCut()
+			if cut.Get(1) < 9 || cut.Get(2) < 9 {
+				t.Fatalf("cut %v stuck after re-added worker resumed reporting", cut)
+			}
+		})
+	}
+}
+
+// TestReAddBlockedPrefixResolves: remove→re-add on the exact finder must not
+// lose the departed incarnation's graph state. Worker 2 persists (2,4)
+// depending on the not-yet-persisted (3,4); across remove and re-add, the new
+// incarnation's (2,5) stays correctly gated (its persisted prefix includes
+// (2,4), whose dependency is unresolved) without stalling anyone else, and
+// folds the moment (3,4) lands.
+func TestReAddBlockedPrefixResolves(t *testing.T) {
+	f := NewExactFinder()
+	for w := WorkerID(1); w <= 3; w++ {
+		f.AddWorker(w)
+	}
+	f.Report(1, 1, nil)
+	f.Report(2, 1, nil)
+	f.Report(3, 1, nil)
+	// (2,4) depends on (3,4), which has not been reported yet.
+	f.Report(2, 4, []Token{{Worker: 3, Version: 4}})
+	f.RemoveWorker(2)
+	f.AddWorker(2)
+	f.Report(2, 5, nil)
+	cut := f.CurrentCut()
+	if got := cut.Get(2); got != 1 {
+		t.Fatalf("cut[2]=%d, want 1: (2,5)'s prefix contains (2,4), whose dependency (3,4) is not durable", got)
+	}
+	// The blocked worker must not gate anyone else.
+	f.Report(1, 2, nil)
+	if got := f.CurrentCut().Get(1); got != 2 {
+		t.Fatalf("cut[1]=%d, want 2: blocked re-added worker stalled an unrelated worker", got)
+	}
+	// Once the missing dependency persists, the whole chain folds.
+	f.Report(3, 4, nil)
+	cut = f.CurrentCut()
+	if got := cut.Get(2); got != 5 {
+		t.Fatalf("cut[2]=%d, want 5 after (3,4) persisted", got)
+	}
+	if got := cut.Get(3); got != 4 {
+		t.Fatalf("cut[3]=%d, want 4", got)
+	}
+}
+
+// TestRemoveReAddRemoveKeepsDepartedCap is the deterministic form of the
+// fuzz counterexample in testdata/fuzz: worker 1 persists 1, departs, is
+// re-added, and departs again without reporting. The first incarnation's
+// persisted prefix is still depended on by workers 2 and 3, so when Vmin
+// passes it, worker 1's cut position must come along — dropping the cap on
+// re-add (or lowering it on the second removal) breaks dependency closure.
+func TestRemoveReAddRemoveKeepsDepartedCap(t *testing.T) {
+	f := NewApproximateFinder()
+	for w := WorkerID(1); w <= 3; w++ {
+		f.AddWorker(w)
+	}
+	f.Report(1, 1, nil)
+	f.RemoveWorker(1)
+	f.AddWorker(1)
+	f.Report(2, 1, nil) // depends on (1,1) in the precedence sense
+	f.Report(3, 1, nil)
+	f.RemoveWorker(1) // second incarnation never reported
+	cut := f.CurrentCut()
+	if cut.Get(2) != 1 || cut.Get(3) != 1 {
+		t.Fatalf("cut %v: remaining workers should advance to 1", cut)
+	}
+	if got := cut.Get(1); got != 1 {
+		t.Fatalf("cut %v not dependency-closed: worker 1 position %d, want its persisted prefix 1", cut, got)
+	}
+}
+
+// TestHybridCrashAfterRemove: crashing the exact component while a departed
+// worker's positions are only covered by the approximate side must not lose
+// them from the merged cut.
+func TestHybridCrashAfterRemove(t *testing.T) {
+	f := NewHybridFinder()
+	f.AddWorker(1)
+	f.AddWorker(2)
+	f.Report(1, 2, nil)
+	f.Report(2, 2, nil)
+	f.RemoveWorker(2)
+	before := f.CurrentCut()
+	f.CrashExact()
+	after := f.CurrentCut()
+	for w, v := range before {
+		if after.Get(w) < v {
+			t.Fatalf("cut regressed across CrashExact: %v -> %v", before, after)
+		}
+	}
+	// The surviving worker keeps making progress post-crash.
+	f.Report(1, 3, nil)
+	f.Report(1, 4, nil)
+	if got := f.CurrentCut().Get(1); got < 3 {
+		t.Fatalf("post-crash cut stuck at %d", got)
+	}
+}
+
+// TestExactGraphSizeBounded: under steady reporting with cross-worker
+// dependencies the precedence graph must stay bounded by the uncommitted
+// frontier — incremental pruning reclaims every token the advancing cut
+// covers. Without it the graph grows O(total history) and cut computation
+// with it.
+func TestExactGraphSizeBounded(t *testing.T) {
+	const workers = 8
+	f := NewExactFinder()
+	for w := WorkerID(1); w <= workers; w++ {
+		f.AddWorker(w)
+	}
+	maxSize := 0
+	for v := Version(1); v <= 2000; v++ {
+		for w := WorkerID(1); w <= workers; w++ {
+			var deps []Token
+			if v > 1 {
+				// One cross-shard edge per version, like the scale harness.
+				next := w%workers + 1
+				deps = []Token{{Worker: next, Version: v - 1}}
+			}
+			f.Report(w, v, deps)
+		}
+		if s := f.GraphSize(); s > maxSize {
+			maxSize = s
+		}
+	}
+	// The frontier is at most ~one version per worker plus the in-flight
+	// round; 4 versions per worker of slack is generous.
+	if limit := workers * 4; maxSize > limit {
+		t.Fatalf("graph peaked at %d tokens over 2000 rounds, want <= %d (O(frontier), not O(history))",
+			maxSize, limit)
+	}
+	if got := f.CurrentCut().Get(1); got < 1999 {
+		t.Fatalf("cut stalled at %d; boundedness must not come from refusing to fold", got)
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // PrecedenceGraph models token dependencies (§3.1). Every committed version
 // is a vertex; a directed edge goes from token B-n to A-m if B-n depends on
 // A-m by precedence (a session completed an operation in A-m immediately
@@ -20,14 +22,21 @@ type PrecedenceGraph struct {
 	durable map[Token]bool
 	// maxSeen tracks the largest inserted version per worker, used to prune.
 	maxSeen map[WorkerID]Version
+	// byWorker holds each worker's inserted, not-yet-pruned versions in
+	// increasing order (per-worker reports arrive in version order). Pruning
+	// below an advancing cut pops a prefix of the affected workers' lists
+	// instead of scanning every token in the graph, so prune cost is
+	// O(tokens actually removed), not O(total graph size).
+	byWorker map[WorkerID][]Version
 }
 
 // NewPrecedenceGraph returns an empty graph.
 func NewPrecedenceGraph() *PrecedenceGraph {
 	return &PrecedenceGraph{
-		deps:    make(map[Token][]Token),
-		durable: make(map[Token]bool),
-		maxSeen: make(map[WorkerID]Version),
+		deps:     make(map[Token][]Token),
+		durable:  make(map[Token]bool),
+		maxSeen:  make(map[WorkerID]Version),
+		byWorker: make(map[WorkerID][]Version),
 	}
 }
 
@@ -35,15 +44,19 @@ func NewPrecedenceGraph() *PrecedenceGraph {
 // StateObjects report a version only after its checkpoint persists, so
 // insertion and durability coincide (§3.3: "Each StateObject adds a version
 // and its dependencies to the precedence graph after each local checkpoint").
-// The implicit dependency on the worker's previous version is added so that
-// per-worker prefixes stay dependency-closed.
+// The implicit dependency on the worker's previous *reported* version is
+// added so per-worker prefixes stay dependency-closed. It must be the
+// previous report, not v-1: versions are Lamport-bumped by dependencies and
+// fast-forwarded to Vmax, so a worker's version numbers legitimately skip —
+// an implicit edge to a version that never existed would block the closure
+// forever.
 func (g *PrecedenceGraph) Add(t Token, ds []Token) {
 	if t.Version == 0 {
 		return // version 0 is the empty pre-history, always durable
 	}
 	all := make([]Token, 0, len(ds)+1)
-	if t.Version > 1 {
-		all = append(all, Token{Worker: t.Worker, Version: t.Version - 1})
+	if prev := g.prevReported(t.Worker, t.Version); prev > 0 {
+		all = append(all, Token{Worker: t.Worker, Version: prev})
 	}
 	for _, d := range ds {
 		if d.Version == 0 || d == t {
@@ -55,7 +68,35 @@ func (g *PrecedenceGraph) Add(t Token, ds []Token) {
 	g.durable[t] = true
 	if t.Version > g.maxSeen[t.Worker] {
 		g.maxSeen[t.Worker] = t.Version
+		g.byWorker[t.Worker] = append(g.byWorker[t.Worker], t.Version)
+	} else {
+		// Out-of-order insert (violates the Finder contract, but tests and
+		// re-added workers may replay old versions): keep the list sorted.
+		vs := g.byWorker[t.Worker]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i] >= t.Version })
+		if i == len(vs) || vs[i] != t.Version {
+			vs = append(vs, 0)
+			copy(vs[i+1:], vs[i:])
+			vs[i] = t.Version
+			g.byWorker[t.Worker] = vs
+		}
 	}
+}
+
+// prevReported returns worker w's largest inserted version below v (0 if
+// none). Pruned predecessors are at or below the cut, so returning a smaller
+// (or zero) version for them is safe: the traversal skips cut-covered tokens
+// before resolving them.
+func (g *PrecedenceGraph) prevReported(w WorkerID, v Version) Version {
+	if m := g.maxSeen[w]; m < v {
+		return m
+	}
+	vs := g.byWorker[w]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	if i == 0 {
+		return 0
+	}
+	return vs[i-1]
 }
 
 // Durable reports whether t has been reported persistent. Version 0 is
@@ -127,16 +168,36 @@ func (g *PrecedenceGraph) Workers() []WorkerID {
 
 // PruneBelow drops all tokens at or below the cut; they can never be needed
 // again because cuts only advance. This bounds graph memory to the
-// uncommitted frontier.
+// uncommitted frontier. Cost is O(workers + tokens removed): the per-worker
+// version lists are popped from the front, never scanned past the cut.
 //
 //dpr:ignore cut-worldline graph algebra is world-line-local; the owning finder is reset across recoveries so tokens never mix world-lines
 func (g *PrecedenceGraph) PruneBelow(cut Cut) {
-	for t := range g.deps {
-		if cut.Includes(t) {
-			delete(g.deps, t)
-			delete(g.durable, t)
-		}
+	for w := range g.byWorker {
+		g.PruneWorkerBelow(w, cut.Get(w))
 	}
+}
+
+// PruneWorkerBelow drops worker w's tokens at or below v. Finders call it
+// incrementally for exactly the workers whose cut position advanced, keeping
+// prune cost proportional to the tokens that actually left the frontier
+// rather than to total graph size.
+func (g *PrecedenceGraph) PruneWorkerBelow(w WorkerID, v Version) {
+	vs := g.byWorker[w]
+	i := 0
+	for ; i < len(vs) && vs[i] <= v; i++ {
+		t := Token{Worker: w, Version: vs[i]}
+		delete(g.deps, t)
+		delete(g.durable, t)
+	}
+	if i == 0 {
+		return
+	}
+	if i == len(vs) {
+		delete(g.byWorker, w)
+		return
+	}
+	g.byWorker[w] = vs[i:]
 }
 
 // Size returns the number of tracked (not yet pruned) tokens.

@@ -46,22 +46,28 @@ func (f *HybridFinder) AddWorker(w WorkerID) {
 	}
 }
 
-// RemoveWorker deregisters w from both components.
+// RemoveWorker deregisters w from both components. Removing a laggard can
+// advance the approximate component's Vmin, so the merged cut is refreshed
+// immediately rather than waiting for the next report.
 func (f *HybridFinder) RemoveWorker(w WorkerID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.exact.RemoveWorker(w)
 	f.approx.RemoveWorker(w)
+	f.exact.MergeCutInto(f.cut)
+	f.approx.MergeCutInto(f.cut)
 }
 
-// Report feeds both components and refreshes the merged cut.
+// Report feeds both components and refreshes the merged cut. The components
+// merge their cuts in place (no per-report clones), keeping report cost
+// independent of cluster size.
 func (f *HybridFinder) Report(w WorkerID, v Version, deps []Token) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.exact.Report(w, v, deps)
 	f.approx.Report(w, v, nil)
-	f.cut.Merge(f.exact.CurrentCut())
-	f.cut.Merge(f.approx.CurrentCut())
+	f.exact.MergeCutInto(f.cut)
+	f.approx.MergeCutInto(f.cut)
 }
 
 // CrashExact simulates losing the in-memory precedence graph (finder node

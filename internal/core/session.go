@@ -56,12 +56,65 @@ type tokenRun struct {
 
 // NewSessionTracker returns a tracker starting at world-line wl.
 // relaxed selects relaxed DPR semantics (the FASTER default).
+// The pending map is allocated lazily on the first Begin, so a tracker that
+// has not issued an operation (or has been rehydrated from an archive and
+// not yet used) costs only the struct itself.
 func NewSessionTracker(wl WorldLine, relaxed bool) *SessionTracker {
 	return &SessionTracker{
 		relaxed:   relaxed,
 		worldLine: wl,
 		nextSeq:   1,
-		pending:   make(map[uint64]bool),
+	}
+}
+
+// SessionArchive is the dehydrated form of a quiescent SessionTracker: a
+// session with no in-flight operations and no completed-but-uncommitted
+// state collapses to a few words. At million-session scale the dormant
+// majority is held in this form (O(few words) per idle session) and
+// rehydrated on the session's next operation; see Archive.
+type SessionArchive struct {
+	WorldLine WorldLine
+	Vs        Version
+	NextSeq   uint64
+	Committed uint64
+	LatestSeq uint64
+	LatestTok Token
+	Relaxed   bool
+}
+
+// Archive returns the compact form of the tracker if it is quiescent: no
+// pending operations, no completed-but-uncommitted runs, and no unresolved
+// exceptions. The committed prefix point, version clock, world-line, and
+// latest-token dependency survive the round trip exactly, so a session
+// rehydrated with NewSessionTrackerFromArchive observes the same committed
+// floor and issues the same dependency headers it would have live.
+func (s *SessionTracker) Archive() (SessionArchive, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) != 0 || len(s.runs) != 0 || len(s.exceptions) != 0 {
+		return SessionArchive{}, false
+	}
+	return SessionArchive{
+		WorldLine: s.worldLine,
+		Vs:        s.vs,
+		NextSeq:   s.nextSeq,
+		Committed: s.committed,
+		LatestSeq: s.latestSeq,
+		LatestTok: s.latestTok,
+		Relaxed:   s.relaxed,
+	}, true
+}
+
+// NewSessionTrackerFromArchive rehydrates a tracker from its compact form.
+func NewSessionTrackerFromArchive(a SessionArchive) *SessionTracker {
+	return &SessionTracker{
+		relaxed:   a.Relaxed,
+		worldLine: a.WorldLine,
+		vs:        a.Vs,
+		nextSeq:   a.NextSeq,
+		committed: a.Committed,
+		latestSeq: a.LatestSeq,
+		latestTok: a.LatestTok,
 	}
 }
 
@@ -130,6 +183,9 @@ func (s *SessionTracker) VersionClock() Version {
 func (s *SessionTracker) Begin() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pending == nil {
+		s.pending = make(map[uint64]bool)
+	}
 	seq := s.nextSeq
 	s.nextSeq++
 	s.pending[seq] = true
@@ -140,6 +196,9 @@ func (s *SessionTracker) Begin() uint64 {
 func (s *SessionTracker) BeginBatch(n int) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.pending == nil && n > 0 {
+		s.pending = make(map[uint64]bool, n)
+	}
 	first := s.nextSeq
 	for i := 0; i < n; i++ {
 		s.pending[s.nextSeq] = true
@@ -308,6 +367,11 @@ func (s *SessionTracker) AdvanceCommitted(wl WorldLine, cut Cut) (uint64, []uint
 		kept = append(kept, r)
 	}
 	s.runs = kept
+	if len(s.runs) == 0 {
+		// Release the backing array: a quiescent session should cost a few
+		// words, not its historical high-water mark.
+		s.runs = nil
+	}
 	return p, exceptions
 }
 
@@ -358,6 +422,12 @@ func (s *SessionTracker) NextSeq() uint64 {
 // Returns a SurvivalError describing the outcome; the caller surfaces it to
 // the application. Lost operations are dropped from tracking; in-flight
 // operations are resolved as lost.
+//
+// A lossless transition returns nil: when the session had nothing in flight
+// and every completed operation lies inside the recovered cut — the common
+// case for a session that was dormant (or evicted) across the recovery —
+// nothing was erased, so there is no survival outcome for the application to
+// handle. The session still adopts the new world-line.
 func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -365,6 +435,8 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 		return nil // stale notification
 	}
 	s.worldLine = wl
+	hadPending := len(s.pending) != 0
+	prevLatest := s.latestSeq
 
 	surviving := s.committed
 	var exceptions []uint64
@@ -404,8 +476,11 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 	}
 
 	// Drop everything not surviving; those operations are gone from the new
-	// world-line and the application must reissue them if desired.
-	clear(s.pending)
+	// world-line and the application must reissue them if desired. The
+	// pending map is released outright (it is lazily reallocated on the next
+	// Begin) so a failed-over idle session does not retain its high-water
+	// footprint.
+	s.pending = nil
 	kept := s.runs[:0]
 	for _, r := range s.runs {
 		if !cut.Includes(r.tok) || r.start > surviving {
@@ -417,6 +492,9 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 		kept = append(kept, r)
 	}
 	s.runs = kept
+	if len(s.runs) == 0 {
+		s.runs = nil
+	}
 	s.nextSeq = surviving + 1
 	if s.committed > surviving {
 		s.committed = surviving
@@ -438,6 +516,9 @@ func (s *SessionTracker) OnFailure(wl WorldLine, cut Cut) *SurvivalError {
 	}
 	if s.vs > maxCut {
 		s.vs = maxCut
+	}
+	if !hadPending && len(exceptions) == 0 && surviving >= prevLatest {
+		return nil // lossless: every operation the session ever completed survives
 	}
 	return &SurvivalError{WorldLine: wl, SurvivingPrefix: surviving, Exceptions: exceptions}
 }

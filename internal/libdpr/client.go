@@ -76,6 +76,51 @@ func NewSession(meta metadata.Service, relaxed bool) (*Session, error) {
 	}, nil
 }
 
+// SessionState is the compact evicted form of a Session: the id plus the
+// tracker's archive, a few words in total. At million-session scale the
+// dormant majority of sessions is held in this form and rehydrated with
+// ResumeSession on the next operation.
+type SessionState struct {
+	ID      uint64
+	Archive core.SessionArchive
+}
+
+// Evict dehydrates a quiescent session into its compact state. It fails
+// (returning false) if the session has in-flight or uncommitted operations,
+// or an unacknowledged survival error — evicting those would lose state the
+// application still needs. An outstanding commit-latency probe is dropped
+// (it is a metric sample, not session state). After a successful Evict the
+// Session must not be used again; keep only the returned state.
+func (s *Session) Evict() (SessionState, bool) {
+	s.mu.Lock()
+	if s.failure != nil {
+		s.mu.Unlock()
+		return SessionState{}, false
+	}
+	s.mu.Unlock()
+	a, ok := s.tracker.Archive()
+	if !ok {
+		return SessionState{}, false
+	}
+	s.probeSeq.Store(0)
+	return SessionState{ID: s.id, Archive: a}, true
+}
+
+// ResumeSession rehydrates an evicted session. The committed prefix point,
+// version clock, world-line, and latest-token dependency are exactly those
+// at eviction time; if the cluster crossed recoveries while the session was
+// dormant, the next operation (or RefreshCommit) detects the world-line
+// change and runs the ordinary failure path — with no uncommitted state, the
+// surviving prefix equals the committed floor, so nothing is lost.
+func ResumeSession(meta metadata.Service, st SessionState) *Session {
+	registerClientObs()
+	return &Session{
+		id:      st.ID,
+		tracker: core.NewSessionTrackerFromArchive(st.Archive),
+		meta:    meta,
+	}
+}
+
 // ID returns the globally unique session id.
 func (s *Session) ID() uint64 { return s.id }
 

@@ -75,6 +75,15 @@ type WorkerConfig struct {
 	// AdmitTimeout bounds how long a batch from a future world-line waits
 	// for local recovery. Default 5s.
 	AdmitTimeout time.Duration
+	// GateIdleIntervals is the number of RefreshIntervals a session's
+	// execution gate may sit unused before its sequence fence is aged out of
+	// the live sync.Map into a compact archive table (two words per
+	// session). The fence survives the round trip exactly — a stale batch
+	// for an aged session is still rejected after rehydration — so ageing
+	// only bounds the metadata footprint of dormant sessions, it never
+	// weakens the fence. <= 0 selects the default (1200 intervals, ≈60s at
+	// the default 50ms refresh).
+	GateIdleIntervals int
 	// EncodeCut, when set, is called once per state refresh to pre-serialize
 	// the piggybacked cut (the cut only changes every RefreshInterval, while
 	// replies go out per batch). The result is published via EncodedCut and
@@ -156,7 +165,18 @@ type Worker struct {
 	// sequence-fenced so a stale batch — delivered late over a connection
 	// the client already abandoned — cannot execute after newer operations
 	// of the same session already ran and reorder the session's history.
-	gates sync.Map // uint64 -> *sessionGate
+	//
+	// Gates of sessions idle for GateIdleIntervals refresh ticks are aged
+	// out of the sync.Map into archivedGates, a plain map of two-word fence
+	// records, and rehydrated on the session's next batch — so a million
+	// dormant sessions cost a compact table, not a million live mutexes,
+	// while the fence itself is preserved exactly. gateEra is the coarse
+	// clock (one tick per refresh interval) gates stamp on use.
+	gates   sync.Map // uint64 -> *sessionGate
+	gateEra atomic.Uint64
+	archMu  sync.Mutex
+	// archived maps an aged session id to its frozen fence record.
+	archived map[uint64]gateRec
 
 	// Observability: the lifecycle trace ring, the last successful finder
 	// refresh (unixnano, for the refresh-age gauge), and the event counters.
@@ -180,6 +200,9 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 	if cfg.AdmitTimeout <= 0 {
 		cfg.AdmitTimeout = 5 * time.Second
 	}
+	if cfg.GateIdleIntervals <= 0 {
+		cfg.GateIdleIntervals = 1200
+	}
 	if cfg.RefreshInterval <= 0 {
 		if cfg.CheckpointInterval > 0 {
 			cfg.RefreshInterval = cfg.CheckpointInterval / 2
@@ -195,14 +218,15 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 		return nil, err
 	}
 	w := &Worker{
-		cfg:  cfg,
-		so:   so,
-		meta: meta,
-		wl:   core.NewWorldLineTracker(wl),
-		deps: make(map[core.Version]map[core.Token]struct{}),
-		cut:  make(core.Cut),
-		exec: epoch.NewTable(),
-		stop: make(chan struct{}),
+		cfg:      cfg,
+		so:       so,
+		meta:     meta,
+		wl:       core.NewWorldLineTracker(wl),
+		deps:     make(map[core.Version]map[core.Token]struct{}),
+		cut:      make(core.Cut),
+		exec:     epoch.NewTable(),
+		archived: make(map[uint64]gateRec),
+		stop:     make(chan struct{}),
 	}
 	snap := &cutSnapshot{wl: wl, cut: make(core.Cut)}
 	if cfg.EncodeCut != nil {
@@ -282,6 +306,9 @@ func (w *Worker) cutPositions() (self, max core.Version) {
 func (w *Worker) sessionCount() int {
 	n := 0
 	w.gates.Range(func(_, _ any) bool { n++; return true })
+	w.archMu.Lock()
+	n += len(w.archived)
+	w.archMu.Unlock()
 	return n
 }
 
@@ -352,14 +379,67 @@ type sessionGate struct {
 	// next is the lowest sequence number still acceptable (one past the
 	// highest executed batch).
 	next uint64
+	// era is the gateEra tick of the last admission; the sweep ages gates
+	// whose era is more than GateIdleIntervals ticks behind.
+	era uint64
+	// dead marks a gate the sweep has archived and removed from the map;
+	// a goroutine that locked a dead gate must re-lookup (rehydrating from
+	// the archive) instead of using it.
+	dead bool
+}
+
+// gateRec is the compact archived form of an idle session's gate: just the
+// fence. The mutex is recreated on rehydration.
+type gateRec struct {
+	wl   core.WorldLine
+	next uint64
 }
 
 func (w *Worker) gate(session uint64) *sessionGate {
 	if g, ok := w.gates.Load(session); ok {
 		return g.(*sessionGate)
 	}
-	g, _ := w.gates.LoadOrStore(session, &sessionGate{})
-	return g.(*sessionGate)
+	// Miss: the gate is either new or archived. The archive read and the
+	// map insert happen under archMu, the same lock the sweep holds while
+	// moving a gate the other way, so a rehydration can never insert a
+	// fence record the sweep has since superseded.
+	g := &sessionGate{era: w.gateEra.Load()}
+	w.archMu.Lock()
+	if rec, had := w.archived[session]; had {
+		g.wl, g.next = rec.wl, rec.next
+	}
+	actual, loaded := w.gates.LoadOrStore(session, g)
+	if !loaded {
+		delete(w.archived, session)
+	}
+	w.archMu.Unlock()
+	return actual.(*sessionGate)
+}
+
+// sweepGates archives every gate idle for at least GateIdleIntervals era
+// ticks: the fence record moves into the compact archive table and the live
+// gate is removed from the map, atomically with respect to gate() under
+// archMu. Runs on the maintenance goroutine, off the batch path; busy gates
+// (TryLock failure) are skipped and revisited on the next sweep.
+//
+//dpr:lockorder libdpr.sessionGate.mu < libdpr.Worker.archMu
+func (w *Worker) sweepGates(now uint64) {
+	idle := uint64(w.cfg.GateIdleIntervals)
+	w.gates.Range(func(k, v any) bool {
+		g := v.(*sessionGate)
+		if !g.mu.TryLock() {
+			return true
+		}
+		if !g.dead && g.era+idle <= now {
+			g.dead = true
+			w.archMu.Lock()
+			w.archived[k.(uint64)] = gateRec{wl: g.wl, next: g.next}
+			w.gates.Delete(k)
+			w.archMu.Unlock()
+		}
+		g.mu.Unlock()
+		return true
+	})
 }
 
 // AdmitBatch performs the server-side libDPR work before a batch executes
@@ -456,6 +536,15 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader, lane *ExecLane) (core.WorldLin
 	}
 	g := w.gate(h.SessionID)
 	g.mu.Lock()
+	for g.dead {
+		// The sweep archived this gate between our lookup and the lock;
+		// its fence now lives in the archive table. Re-look-up: gate()
+		// rehydrates from the record the sweep just wrote.
+		g.mu.Unlock()
+		g = w.gate(h.SessionID)
+		g.mu.Lock()
+	}
+	g.era = w.gateEra.Load()
 	if h.WorldLine > g.wl {
 		// The session crossed a rollback; its sequence space restarted.
 		g.wl, g.next = h.WorldLine, 0
@@ -659,6 +748,9 @@ func (w *Worker) maintenanceLoop() {
 		case <-refresh.C:
 			w.reportPersisted()
 			w.refreshState()
+			if era := w.gateEra.Add(1); era%uint64(w.cfg.GateIdleIntervals) == 0 {
+				w.sweepGates(era)
+			}
 		}
 	}
 }

@@ -9,6 +9,11 @@
 // All finder traffic is off the critical path of request processing: workers
 // report checkpoints and poll the cut from background threads, exactly as in
 // the paper.
+//
+// Internally the store is sharded so the tables do not serialize on one
+// lock: membership and ownership live in independent lock stripes, finder
+// mutation is serialized by a dedicated state mutex, and State() readers
+// consume an immutable published snapshot without taking any mutating lock.
 package metadata
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpr/internal/core"
@@ -108,14 +114,45 @@ type Config struct {
 	TraceSize int
 }
 
+// Stripe counts. Membership is keyed by worker id (sequential small ints, so
+// modulo spreads them round-robin); ownership by virtual partition, of which
+// there are typically thousands.
+const (
+	memberStripes = 16
+	ownerStripes  = 64
+)
+
+type memberStripe struct {
+	mu sync.Mutex
+	m  map[core.WorkerID]string
+}
+
+type ownerStripe struct {
+	mu sync.Mutex
+	m  map[uint64]core.WorkerID
+}
+
+// stateView is an immutable snapshot of the cut-bearing state. It is built
+// under stateMu and published whole through an atomic pointer, so State()
+// readers see a consistent (world-line, cut, Vmax, frozen) quadruple without
+// contending with reporters. gen records which mutation generation the view
+// reflects; readers rebuild lazily when it falls behind.
+type stateView struct {
+	gen    uint64
+	wl     core.WorldLine
+	cut    core.Cut // effective cut (the frozen cut while frozen); never mutated after publish
+	vmax   core.Version
+	frozen bool
+}
+
 // Store is the in-process metadata service.
 type Store struct {
 	cfg    Config
 	finder core.Finder
 
-	mu        sync.Mutex
-	members   map[core.WorkerID]string
-	ownership map[uint64]core.WorkerID
+	// stateMu serializes finder mutation and the recovery registry. It is
+	// never held across device I/O and never nested with stripe locks.
+	stateMu   sync.Mutex
 	worldLine core.WorldLine
 	// frozen pins the cut during failure recovery (§4.1: the cluster
 	// manager temporarily halts DPR progress).
@@ -126,8 +163,19 @@ type Store struct {
 	// acked maps each worker to the newest world-line it confirmed.
 	acked map[core.WorkerID]core.WorldLine
 
+	// gen counts cut-affecting mutations (bumped under stateMu); state is
+	// the latest published view. Readers that observe view.gen == gen are
+	// current and take no lock.
+	gen   atomic.Uint64
+	state atomic.Pointer[stateView]
+
+	members     [memberStripes]memberStripe
+	memberCount atomic.Int64
+	owners      [ownerStripes]ownerStripe
+
 	// Snapshot persistence is serialized by a single flusher so snapshots
-	// land on the device in order; persistLocked only marks dirty.
+	// land on the device in order; persist only marks dirty.
+	flushMu  sync.Mutex
 	dirty    bool
 	flushing bool
 	flushWG  sync.WaitGroup
@@ -145,10 +193,14 @@ func NewStore(cfg Config) *Store {
 	s := &Store{
 		cfg:       cfg,
 		finder:    NewFinder(cfg.Finder),
-		members:   make(map[core.WorkerID]string),
-		ownership: make(map[uint64]core.WorkerID),
 		recovered: make(map[core.WorldLine]core.Cut),
 		acked:     make(map[core.WorkerID]core.WorldLine),
+	}
+	for i := range s.members {
+		s.members[i].m = make(map[core.WorkerID]string)
+	}
+	for i := range s.owners {
+		s.owners[i].m = make(map[uint64]core.WorkerID)
 	}
 	s.registerObs()
 	return s
@@ -167,11 +219,7 @@ func (s *Store) registerObs() {
 		func() float64 { return float64(s.WorldLine()) })
 	reg.GaugeFunc("dpr_finder_vmax",
 		"Largest version reported to the finder.",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.finder.MaxVersion())
-		})
+		func() float64 { return float64(s.view().vmax) })
 	reg.GaugeFunc("dpr_finder_frozen",
 		"1 while DPR progress is frozen for recovery, else 0.",
 		func() float64 {
@@ -182,11 +230,7 @@ func (s *Store) registerObs() {
 		})
 	reg.GaugeFunc("dpr_finder_workers",
 		"Registered cluster members.",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(len(s.members))
-		})
+		func() float64 { return float64(s.memberCount.Load()) })
 	s.recoveriesC = reg.Counter("dpr_finder_recoveries_total",
 		"Recovery rounds begun (world-line bumps).")
 	s.reportsC = reg.Counter("dpr_finder_version_reports_total",
@@ -198,34 +242,31 @@ func (s *Store) Trace() *obs.Trace { return s.trace }
 
 // DebugState assembles the finder's /debug/dpr snapshot.
 func (s *Store) DebugState() obs.DPRState {
-	s.mu.Lock()
-	cut := s.finder.CurrentCut()
-	if s.frozen {
-		cut = s.frozenCut.Clone()
-	}
-	vmax := s.finder.MaxVersion()
-	wl := s.worldLine
-	frozen := s.frozen
-	members := make(map[string]string, len(s.members))
-	for w, a := range s.members {
-		members[strconv.FormatUint(uint64(w), 10)] = a
-	}
-	s.mu.Unlock()
-	var max core.Version
-	cutJSON := make(map[string]uint64, len(cut))
-	for w, v := range cut {
-		if v > max {
-			max = v
+	v := s.view()
+	members := make(map[string]string, s.memberCount.Load())
+	for i := range s.members {
+		st := &s.members[i]
+		st.mu.Lock()
+		for w, a := range st.m {
+			members[strconv.FormatUint(uint64(w), 10)] = a
 		}
-		cutJSON[strconv.FormatUint(uint64(w), 10)] = uint64(v)
+		st.mu.Unlock()
+	}
+	var max core.Version
+	cutJSON := make(map[string]uint64, len(v.cut))
+	for w, ver := range v.cut {
+		if ver > max {
+			max = ver
+		}
+		cutJSON[strconv.FormatUint(uint64(w), 10)] = uint64(ver)
 	}
 	return obs.DPRState{
 		Kind:      "finder",
-		WorldLine: uint64(wl),
+		WorldLine: uint64(v.wl),
 		CutMax:    uint64(max),
 		Cut:       cutJSON,
-		Vmax:      uint64(vmax),
-		Frozen:    frozen,
+		Vmax:      uint64(v.vmax),
+		Frozen:    v.frozen,
 		Members:   members,
 		Rollbacks: s.recoveriesC.Value(),
 		Trace:     s.trace.Snapshot(),
@@ -238,73 +279,156 @@ func (s *Store) simulateLatency() {
 	}
 }
 
+func (s *Store) memberStripe(w core.WorkerID) *memberStripe {
+	return &s.members[uint64(w)%memberStripes]
+}
+
+func (s *Store) ownerStripe(p uint64) *ownerStripe {
+	return &s.owners[p%ownerStripes]
+}
+
+func (s *Store) hasMember(w core.WorkerID) bool {
+	st := s.memberStripe(w)
+	st.mu.Lock()
+	_, ok := st.m[w]
+	st.mu.Unlock()
+	return ok
+}
+
+// view returns the current state view, rebuilding it first if mutations have
+// landed since the last publish. The fast path (no change since last read)
+// is two atomic loads and no lock.
+func (s *Store) view() *stateView {
+	if v := s.state.Load(); v != nil && v.gen == s.gen.Load() {
+		return v
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.publishLocked()
+}
+
+// publishLocked rebuilds and publishes the state view; caller holds stateMu.
+// The rebuild cost (one cut clone) is paid once per batch of mutations
+// rather than once per report.
+func (s *Store) publishLocked() *stateView {
+	gen := s.gen.Load()
+	if v := s.state.Load(); v != nil && v.gen == gen {
+		return v
+	}
+	cut := s.finder.CurrentCut()
+	if s.frozen {
+		cut = s.frozenCut.Clone()
+	}
+	v := &stateView{gen: gen, wl: s.worldLine, cut: cut, vmax: s.finder.MaxVersion(), frozen: s.frozen}
+	s.state.Store(v)
+	return v
+}
+
 // RegisterWorker implements Service.
 func (s *Store) RegisterWorker(w core.WorkerID, addr string) error {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.members[w] = addr
+	st := s.memberStripe(w)
+	st.mu.Lock()
+	if _, ok := st.m[w]; !ok {
+		s.memberCount.Add(1)
+	}
+	st.m[w] = addr
+	st.mu.Unlock()
+	s.stateMu.Lock()
 	s.finder.AddWorker(w)
-	s.persistLocked()
+	s.gen.Add(1)
+	s.stateMu.Unlock()
+	s.persist()
 	return nil
 }
 
 // DeregisterWorker implements Service.
 func (s *Store) DeregisterWorker(w core.WorkerID) error {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.members, w)
+	st := s.memberStripe(w)
+	st.mu.Lock()
+	if _, ok := st.m[w]; ok {
+		s.memberCount.Add(-1)
+	}
+	delete(st.m, w)
+	st.mu.Unlock()
+	s.stateMu.Lock()
 	s.finder.RemoveWorker(w)
-	s.persistLocked()
+	s.gen.Add(1)
+	s.stateMu.Unlock()
+	s.persist()
 	return nil
 }
 
 // ReportVersion implements Service.
 func (s *Store) ReportVersion(w core.WorkerID, v core.Version, deps []core.Token) error {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.members[w]; !ok {
+	if !s.hasMember(w) {
 		return fmt.Errorf("metadata: unknown worker %d", w)
 	}
+	s.stateMu.Lock()
 	s.finder.Report(w, v, deps)
-	s.persistLocked()
+	s.gen.Add(1)
+	s.stateMu.Unlock()
+	s.persist()
 	s.reportsC.Inc()
 	return nil
 }
 
 // State implements Service. While recovery is in progress the cut is frozen
-// at its pre-failure value.
+// at its pre-failure value. Readers consume the published view: concurrent
+// State calls share one snapshot and do not serialize against reporters.
 func (s *Store) State() (core.Cut, core.Version, core.WorldLine, error) {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cut := s.finder.CurrentCut()
-	if s.frozen {
-		cut = s.frozenCut.Clone()
-	}
-	return cut, s.finder.MaxVersion(), s.worldLine, nil
+	v := s.view()
+	return v.cut.Clone(), v.vmax, v.wl, nil
+}
+
+// StateShared is State without the defensive clone: the returned cut is the
+// published snapshot itself and MUST be treated as read-only. In-process
+// hot callers (the scale harness folding one cut into many thousands of
+// session trackers per round) use it to keep cut publication O(1).
+func (s *Store) StateShared() (core.Cut, core.Version, core.WorldLine) {
+	v := s.view()
+	return v.cut, v.vmax, v.wl
 }
 
 // Members implements Service.
 func (s *Store) Members() (map[core.WorkerID]string, error) {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[core.WorkerID]string, len(s.members))
-	for w, a := range s.members {
-		out[w] = a
+	out := make(map[core.WorkerID]string, s.memberCount.Load())
+	for i := range s.members {
+		st := &s.members[i]
+		st.mu.Lock()
+		for w, a := range st.m {
+			out[w] = a
+		}
+		st.mu.Unlock()
 	}
 	return out, nil
+}
+
+// memberIDs gathers the registered worker ids across stripes.
+func (s *Store) memberIDs() []core.WorkerID {
+	ids := make([]core.WorkerID, 0, s.memberCount.Load())
+	for i := range s.members {
+		st := &s.members[i]
+		st.mu.Lock()
+		for w := range st.m {
+			ids = append(ids, w)
+		}
+		st.mu.Unlock()
+	}
+	return ids
 }
 
 // OwnerOf implements Service.
 func (s *Store) OwnerOf(partition uint64) (core.WorkerID, error) {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	w, ok := s.ownership[partition]
+	st := s.ownerStripe(partition)
+	st.mu.Lock()
+	w, ok := st.m[partition]
+	st.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("metadata: partition %d unowned", partition)
 	}
@@ -314,18 +438,19 @@ func (s *Store) OwnerOf(partition uint64) (core.WorkerID, error) {
 // SetOwner implements Service.
 func (s *Store) SetOwner(partition uint64, w core.WorkerID) error {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ownership[partition] = w
-	s.persistLocked()
+	st := s.ownerStripe(partition)
+	st.mu.Lock()
+	st.m[partition] = w
+	st.mu.Unlock()
+	s.persist()
 	return nil
 }
 
 // RecoveredCut implements Service.
 func (s *Store) RecoveredCut(wl core.WorldLine) (core.Cut, error) {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	c, ok := s.recovered[wl]
 	if !ok {
 		return nil, fmt.Errorf("metadata: world-line %d unknown", wl)
@@ -336,8 +461,8 @@ func (s *Store) RecoveredCut(wl core.WorldLine) (core.Cut, error) {
 // AckWorldLine implements Service.
 func (s *Store) AckWorldLine(w core.WorkerID, wl core.WorldLine) error {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if wl > s.acked[w] {
 		s.acked[w] = wl
 	}
@@ -347,9 +472,10 @@ func (s *Store) AckWorldLine(w core.WorkerID, wl core.WorldLine) error {
 // AllAcked reports whether every registered member has confirmed rollback
 // into world-line wl.
 func (s *Store) AllAcked(wl core.WorldLine) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for w := range s.members {
+	ids := s.memberIDs()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	for _, w := range ids {
 		if s.acked[w] < wl {
 			return false
 		}
@@ -365,15 +491,17 @@ func (s *Store) AllAcked(wl core.WorldLine) bool {
 // recovery cut (no operations committed in between).
 func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if !s.frozen {
 		s.frozen = true
 		s.frozenCut = s.finder.CurrentCut()
 	}
 	s.worldLine++
 	s.recovered[s.worldLine] = s.frozenCut.Clone()
-	s.persistLocked()
+	s.gen.Add(1)
+	s.publishLocked()
+	s.persist()
 	s.recoveriesC.Inc()
 	var max core.Version
 	for _, v := range s.frozenCut {
@@ -390,10 +518,12 @@ func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
 // newer recovery round is still in flight.
 func (s *Store) CompleteRecovery() {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.frozen = false
-	s.persistLocked()
+	s.gen.Add(1)
+	s.publishLocked()
+	s.persist()
 	s.trace.Record(obs.EvRecoveryEnd, uint64(s.worldLine), 0, 0)
 }
 
@@ -405,48 +535,45 @@ func (s *Store) CompleteRecovery() {
 // running, exactly the lost-committed-data window DPR freezes to prevent.
 func (s *Store) CompleteRecoveryFor(wl core.WorldLine) {
 	s.simulateLatency()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if wl != s.worldLine {
 		return
 	}
 	s.frozen = false
-	s.persistLocked()
+	s.gen.Add(1)
+	s.publishLocked()
+	s.persist()
 	s.trace.Record(obs.EvRecoveryEnd, uint64(wl), 0, 0)
 }
 
 // Frozen reports whether recovery is in progress.
-func (s *Store) Frozen() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.frozen
-}
+func (s *Store) Frozen() bool { return s.view().frozen }
 
 // WorldLine returns the current world-line.
-func (s *Store) WorldLine() core.WorldLine {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.worldLine
-}
+func (s *Store) WorldLine() core.WorldLine { return s.view().wl }
 
 // ---- durability ----
 
-// persistLocked schedules a durable snapshot of the tables (if a device is
+// persist schedules a durable snapshot of the tables (if a device is
 // configured). Snapshots are serialized through one flusher goroutine so a
 // newer snapshot can never be overwritten by an older in-flight write. The
 // finder's internal state is rebuilt from worker re-reports on restart
 // (approximate) — matching the paper, where only the version table rows are
 // durable and the exact algorithm's graph may be in memory.
-func (s *Store) persistLocked() {
+func (s *Store) persist() {
 	if s.cfg.Device == nil {
 		return
 	}
+	s.flushMu.Lock()
 	s.dirty = true
 	if s.flushing {
+		s.flushMu.Unlock()
 		return
 	}
 	s.flushing = true
 	s.flushWG.Add(1)
+	s.flushMu.Unlock()
 	go s.flushLoop()
 }
 
@@ -454,15 +581,15 @@ func (s *Store) persistLocked() {
 func (s *Store) flushLoop() {
 	defer s.flushWG.Done()
 	for {
-		s.mu.Lock()
+		s.flushMu.Lock()
 		if !s.dirty {
 			s.flushing = false
-			s.mu.Unlock()
+			s.flushMu.Unlock()
 			return
 		}
 		s.dirty = false
-		data := s.encodeSnapshotLocked()
-		s.mu.Unlock()
+		s.flushMu.Unlock()
+		data := s.encodeSnapshot()
 		ch := make(chan struct{})
 		s.cfg.Device.WriteAsync(s.cfg.Blob, 0, data, func(error) { close(ch) })
 		<-ch
@@ -473,31 +600,58 @@ func (s *Store) flushLoop() {
 // orderly shutdown).
 func (s *Store) Sync() { s.flushWG.Wait() }
 
-// encodeSnapshotLocked serializes the tables; caller holds s.mu.
-func (s *Store) encodeSnapshotLocked() []byte {
+// encodeSnapshot serializes the tables. Each table is internally consistent
+// (gathered under its own lock); the snapshot as a whole is fuzzy across
+// tables, which is safe because a racing mutation re-marks dirty and the
+// flusher writes again.
+func (s *Store) encodeSnapshot() []byte {
 	var buf bytes.Buffer
 	put := func(x uint64) {
 		var b [8]byte
 		binary.LittleEndian.PutUint64(b[:], x)
 		buf.Write(b[:])
 	}
-	put(uint64(s.worldLine))
+	s.stateMu.Lock()
+	wl := s.worldLine
 	cut := s.finder.CurrentCut()
+	s.stateMu.Unlock()
+	put(uint64(wl))
 	put(uint64(len(cut)))
 	for w, v := range cut {
 		put(uint64(w))
 		put(uint64(v))
 	}
-	put(uint64(len(s.members)))
-	for w, addr := range s.members {
+	members := make(map[core.WorkerID]string, s.memberCount.Load())
+	for i := range s.members {
+		st := &s.members[i]
+		st.mu.Lock()
+		for w, a := range st.m {
+			members[w] = a
+		}
+		st.mu.Unlock()
+	}
+	put(uint64(len(members)))
+	for w, addr := range members {
 		put(uint64(w))
 		put(uint64(len(addr)))
 		buf.WriteString(addr)
 	}
-	put(uint64(len(s.ownership)))
-	for p, w := range s.ownership {
-		put(p)
-		put(uint64(w))
+	var parts int
+	for i := range s.owners {
+		st := &s.owners[i]
+		st.mu.Lock()
+		parts += len(st.m)
+		st.mu.Unlock()
+	}
+	put(uint64(parts))
+	for i := range s.owners {
+		st := &s.owners[i]
+		st.mu.Lock()
+		for p, w := range st.m {
+			put(p)
+			put(uint64(w))
+		}
+		st.mu.Unlock()
 	}
 	data := make([]byte, buf.Len())
 	copy(data, buf.Bytes())

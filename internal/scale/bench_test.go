@@ -1,0 +1,73 @@
+package scale
+
+import (
+	"fmt"
+	"testing"
+
+	"dpr/internal/metadata"
+)
+
+// BenchmarkCutRound measures one commit cycle (activation burst, checkpoint
+// reports, cut publication, fold, eviction) at population sizes spanning two
+// orders of magnitude with a CONSTANT active set. Round cost growing with
+// Sessions would mean O(total) work survives somewhere on the cut path; the
+// scale criterion is 1M within 10x of 10k.
+func BenchmarkCutRound(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		for _, fk := range []metadata.FinderKind{metadata.FinderApproximate, metadata.FinderHybrid} {
+			b.Run(fmt.Sprintf("sessions=%d/finder=%s", n, fk), func(b *testing.B) {
+				h, err := NewHarness(Config{
+					Sessions:       n,
+					Workers:        8,
+					Finder:         fk,
+					ActivePerRound: 1024,
+					OpsPerActive:   2,
+					ChurnPerRound:  16,
+					Relaxed:        true,
+					Seed:           1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < 3; i++ { // warm the archive and the finder
+					if err := h.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := h.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRehydrateEvict measures the activation round trip for one dormant
+// session: rehydrate, one operation, fold, evict. This is the cost a cold
+// session pays on wake-up; it must stay in the sub-microsecond-per-op class
+// and allocate only the session and tracker objects themselves.
+func BenchmarkRehydrateEvict(b *testing.B) {
+	h, err := NewHarness(Config{
+		Sessions:       10_000,
+		Workers:        8,
+		Finder:         metadata.FinderApproximate,
+		ActivePerRound: 1,
+		OpsPerActive:   1,
+		Relaxed:        true,
+		Seed:           1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

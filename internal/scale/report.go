@@ -1,0 +1,47 @@
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Result summarizes a harness run: the configuration, total operations
+// issued, and the distribution of per-round cut latency (the time from the
+// first checkpoint report of a round to the last active session folding the
+// published cut).
+type Result struct {
+	Config Config
+	Ops    uint64
+
+	CutLatencyAvg time.Duration
+	CutLatencyP50 time.Duration
+	CutLatencyP99 time.Duration
+	CutLatencyMax time.Duration
+}
+
+func newResult(cfg Config, ops uint64, lats []time.Duration) Result {
+	r := Result{Config: cfg, Ops: ops}
+	if len(lats) == 0 {
+		return r
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	r.CutLatencyAvg = sum / time.Duration(len(sorted))
+	r.CutLatencyP50 = sorted[len(sorted)/2]
+	r.CutLatencyP99 = sorted[len(sorted)*99/100]
+	r.CutLatencyMax = sorted[len(sorted)-1]
+	return r
+}
+
+// String renders the result as one log line.
+func (r Result) String() string {
+	return fmt.Sprintf("sessions=%d workers=%d finder=%s active/round=%d ops=%d cut-latency avg=%v p50=%v p99=%v max=%v",
+		r.Config.Sessions, r.Config.Workers, r.Config.Finder, r.Config.ActivePerRound,
+		r.Ops, r.CutLatencyAvg, r.CutLatencyP50, r.CutLatencyP99, r.CutLatencyMax)
+}

@@ -1,0 +1,122 @@
+package workload
+
+import "math/rand"
+
+// ActivityConfig parameterizes a session-activity generator: which of N
+// sessions touch the system each round. Activity is sparse and skewed — at
+// million-session scale the overwhelming majority of sessions are dormant in
+// any given interval, while a Zipf-distributed hot set issues most traffic —
+// and churns: every round a few sessions are opened for the first time and a
+// few are closed for good.
+type ActivityConfig struct {
+	// Sessions is the total population N.
+	Sessions int
+	// ActivePerRound is how many distinct sessions act each round.
+	ActivePerRound int
+	// Theta is the Zipfian skew of the active draw (0 = default 0.99).
+	Theta float64
+	// ChurnPerRound is how many sessions are closed (and the same number
+	// opened) each round. Closed ids never act again.
+	ChurnPerRound int
+	// Seed makes the schedule deterministic.
+	Seed int64
+}
+
+// RoundPlan is one round of session activity. Ids are session indexes in
+// [0, Sessions + total churn so far). Active is deduplicated and never
+// includes a closed or not-yet-opened session; Open lists ids acting for the
+// first time this round; Close lists ids that must be evicted for good after
+// this round.
+type RoundPlan struct {
+	Active []uint64
+	Open   []uint64
+	Close  []uint64
+}
+
+// Activity produces a deterministic per-round session-activity schedule.
+// Not safe for concurrent use.
+type Activity struct {
+	cfg    ActivityConfig
+	rng    *rand.Rand
+	zip    *zipfGen
+	opened uint64 // ids [0, opened) exist; churn opens new ids at the top
+	closed map[uint64]struct{}
+	// plan is reused across rounds so steady-state generation does not
+	// allocate.
+	plan RoundPlan
+	seen map[uint64]struct{}
+}
+
+// NewActivity builds an activity generator over cfg.Sessions sessions.
+func NewActivity(cfg ActivityConfig) *Activity {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.ActivePerRound <= 0 {
+		cfg.ActivePerRound = 1
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	return &Activity{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		zip:    newZipfGen(int64(cfg.Sessions), cfg.Theta),
+		opened: uint64(cfg.Sessions),
+		closed: make(map[uint64]struct{}),
+		seen:   make(map[uint64]struct{}, cfg.ActivePerRound),
+	}
+}
+
+// Opened returns how many session ids exist so far (live + closed).
+func (a *Activity) Opened() uint64 { return a.opened }
+
+// draw picks one live session id: a scrambled Zipf rank over the original
+// population, re-rolled past closures. The scramble spreads the hot ranks
+// over the id space so hot sessions do not cluster on one shard.
+func (a *Activity) draw() uint64 {
+	for {
+		id := scramble(uint64(a.zip.next(a.rng))) % a.opened
+		if _, dead := a.closed[id]; !dead {
+			return id
+		}
+	}
+}
+
+// Round plans the next round. The returned plan's slices are owned by the
+// generator and valid until the next Round call.
+func (a *Activity) Round() *RoundPlan {
+	p := &a.plan
+	p.Active = p.Active[:0]
+	p.Open = p.Open[:0]
+	p.Close = p.Close[:0]
+	clear(a.seen)
+
+	// Churn first: open brand-new ids (they act this round, modeling the
+	// first request of a new session) and pick victims to close after it.
+	for i := 0; i < a.cfg.ChurnPerRound; i++ {
+		id := a.opened
+		a.opened++
+		p.Open = append(p.Open, id)
+		p.Active = append(p.Active, id)
+		a.seen[id] = struct{}{}
+	}
+	for len(p.Active) < a.cfg.ActivePerRound {
+		id := a.draw()
+		if _, dup := a.seen[id]; dup {
+			continue
+		}
+		a.seen[id] = struct{}{}
+		p.Active = append(p.Active, id)
+	}
+	// Close victims are drawn from this round's active set (a session's last
+	// request is still a request) — skipping the just-opened ids so every
+	// session lives at least one full round.
+	churn := a.cfg.ChurnPerRound
+	for i := len(p.Open); i < len(p.Active) && len(p.Close) < churn; i++ {
+		id := p.Active[i]
+		p.Close = append(p.Close, id)
+		a.closed[id] = struct{}{}
+	}
+	return p
+}

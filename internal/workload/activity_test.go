@@ -1,0 +1,69 @@
+package workload
+
+import "testing"
+
+func TestActivityDeterministic(t *testing.T) {
+	cfg := ActivityConfig{Sessions: 1000, ActivePerRound: 50, ChurnPerRound: 3, Seed: 7}
+	a, b := NewActivity(cfg), NewActivity(cfg)
+	for r := 0; r < 20; r++ {
+		pa, pb := a.Round(), b.Round()
+		if len(pa.Active) != len(pb.Active) {
+			t.Fatalf("round %d: active lengths differ", r)
+		}
+		for i := range pa.Active {
+			if pa.Active[i] != pb.Active[i] {
+				t.Fatalf("round %d: schedules diverge at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestActivityInvariants(t *testing.T) {
+	cfg := ActivityConfig{Sessions: 500, ActivePerRound: 40, ChurnPerRound: 5, Seed: 1}
+	a := NewActivity(cfg)
+	closed := make(map[uint64]struct{})
+	openedAt := make(map[uint64]int)
+	for id := uint64(0); id < uint64(cfg.Sessions); id++ {
+		openedAt[id] = 0
+	}
+	for r := 1; r <= 50; r++ {
+		p := a.Round()
+		if len(p.Active) != cfg.ActivePerRound {
+			t.Fatalf("round %d: %d active, want %d", r, len(p.Active), cfg.ActivePerRound)
+		}
+		if len(p.Open) != cfg.ChurnPerRound || len(p.Close) != cfg.ChurnPerRound {
+			t.Fatalf("round %d: churn %d/%d, want %d", r, len(p.Open), len(p.Close), cfg.ChurnPerRound)
+		}
+		seen := make(map[uint64]struct{}, len(p.Active))
+		for _, id := range p.Active {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("round %d: duplicate active id %d", r, id)
+			}
+			seen[id] = struct{}{}
+			if _, dead := closed[id]; dead {
+				t.Fatalf("round %d: closed session %d acted", r, id)
+			}
+		}
+		for _, id := range p.Open {
+			if _, ok := openedAt[id]; ok {
+				t.Fatalf("round %d: id %d opened twice", r, id)
+			}
+			openedAt[id] = r
+			if _, active := seen[id]; !active {
+				t.Fatalf("round %d: opened id %d not active", r, id)
+			}
+		}
+		for _, id := range p.Close {
+			if openedAt[id] == r {
+				t.Fatalf("round %d: id %d opened and closed in the same round", r, id)
+			}
+			if _, active := seen[id]; !active {
+				t.Fatalf("round %d: closed id %d was not active", r, id)
+			}
+			closed[id] = struct{}{}
+		}
+	}
+	if a.Opened() != uint64(cfg.Sessions+50*cfg.ChurnPerRound) {
+		t.Fatalf("opened = %d", a.Opened())
+	}
+}
