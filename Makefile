@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet dpr-vet test race fuzz bench bench-scaling bench-scale scale-smoke
+.PHONY: check build vet dpr-vet test race fuzz bench bench-scaling bench-scale scale-smoke chaos-elastic
 
 # The full pre-commit gate, in the order CI runs it.
 check: build vet dpr-vet test
@@ -48,6 +48,16 @@ bench-scaling:
 bench-scale:
 	$(GO) test -bench 'CutRound|RehydrateEvict' -benchtime 30x -run '^$$' \
 		-timeout 20m ./internal/scale
+
+# Elastic chaos sweep: the nightly fault schedules extended with live
+# membership events (join, drain-and-leave, targeted migrations) injected
+# mid-round, under the race detector. A crash can land while a migration
+# source is mid-stream; the §4.3 checker must stay green throughout.
+# Reproduce one seed with: CHAOS_ELASTIC=1 CHAOS_SEED=<seed> \
+#   go test ./internal/chaos -race -run Chaos
+chaos-elastic:
+	CHAOS_ELASTIC=1 CHAOS_SEEDS=20 $(GO) test ./internal/chaos -race \
+		-run 'TestChaos$$' -timeout 40m -v
 
 # The 100k-session harness under the race detector — the PR-triggered CI
 # smoke for changes touching the metadata plane.

@@ -36,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -209,11 +210,15 @@ func obsView(args []string) error {
 	client := &http.Client{Timeout: 5 * time.Second}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "ADDR\tWORKER\tKIND\tWL\tCURRENT\tPERSISTED\tCOMMITTED\tCUT-LAG\tSESSIONS\tROLLBACKS\tBATCHES\tFROZEN")
+	var finder *obs.DPRState
 	for _, addr := range addrs {
 		st, err := scrapeDebugDPR(client, addr)
 		if err != nil {
 			fmt.Fprintf(tw, "%s\t-\t(unreachable: %v)\n", addr, err)
 			continue
+		}
+		if st.Kind == "finder" && finder == nil {
+			finder = st
 		}
 		worker := "-"
 		if st.Worker != 0 || st.Kind != "finder" {
@@ -227,7 +232,80 @@ func obsView(args []string) error {
 			addr, worker, st.Kind, st.WorldLine, st.CurrentVersion, st.PersistedVersion,
 			st.CommittedVersion, st.CutLag, st.Sessions, st.Rollbacks, st.Batches, frozen)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if finder != nil {
+		printElasticView(finder)
+	}
+	return nil
+}
+
+// printElasticView renders the finder's membership table, the per-worker
+// partition ownership (compressed to ranges), and any in-flight migrations —
+// the live view of an elastic cluster mid-rebalance.
+func printElasticView(st *obs.DPRState) {
+	if len(st.Members) > 0 {
+		fmt.Printf("\nmembership (%d workers):\n", len(st.Members))
+		byWorker := make(map[uint64][]uint64)
+		for p, w := range st.Owners {
+			pn, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				continue
+			}
+			byWorker[w] = append(byWorker[w], pn)
+		}
+		var ids []string
+		for id := range st.Members {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			a, _ := strconv.ParseUint(ids[i], 10, 64)
+			b, _ := strconv.ParseUint(ids[j], 10, 64)
+			return a < b
+		})
+		for _, id := range ids {
+			w, _ := strconv.ParseUint(id, 10, 64)
+			parts := byWorker[w]
+			fmt.Printf("  worker %s @ %s\towns %d partition(s) %s\n",
+				id, st.Members[id], len(parts), partitionRanges(parts))
+		}
+	}
+	if len(st.Migrations) > 0 {
+		fmt.Printf("\nin-flight migrations (%d):\n", len(st.Migrations))
+		for _, m := range st.Migrations {
+			fmt.Printf("  #%d  worker %d -> worker %d\tpartitions %s\t(world-line %d)\n",
+				m.ID, m.From, m.To, partitionRanges(m.Partitions), m.WorldLine)
+		}
+	}
+}
+
+// partitionRanges compresses a partition list into "[0-7 12 14-15]" form.
+func partitionRanges(parts []uint64) string {
+	if len(parts) == 0 {
+		return "[]"
+	}
+	sorted := append([]uint64(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[j]+1 {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", sorted[i], sorted[j])
+		} else {
+			fmt.Fprintf(&b, "%d", sorted[i])
+		}
+		i = j + 1
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 func scrapeDebugDPR(client *http.Client, addr string) (*obs.DPRState, error) {

@@ -14,11 +14,13 @@ import (
 //     sync.RWMutex, sync.Once, sync.WaitGroup or sync.Cond must not be
 //     copied: by-value parameters/receivers/results and lock-copying
 //     assignments are flagged.
+//
 //  2. release rule — within a function, every Lock()/RLock() must be
 //     released on every return path, either by a dominating defer or by an
 //     explicit Unlock on the path. Functions that intentionally hand a held
 //     lock to their caller (guarded admission) document it with
 //     //dpr:ignore.
+//
 //  3. order rule — a declared lock-order graph, written in source as
 //
 //     //dpr:lockorder pkg.Type.field < pkg.Type.field

@@ -19,3 +19,22 @@ func Takes(c core.Cut) { // want "Takes takes a core.Cut but no world-line appea
 type Source interface {
 	Snapshot() core.Cut // want "interface method Source.Snapshot returns a core.Cut but no world-line appears in the signature"
 }
+
+// Migration boundaries are cut positions: a boundary-named core.Version
+// moving without its world-line reproduces the same collision bug.
+
+type Handover struct { // want "struct Handover carries a migration boundary \(core.Version field named \*boundary\*\) but no world-line tag"
+	Boundary core.Version
+}
+
+func SealBoundary() core.Version { // want "SealBoundary returns a migration boundary \(core.Version\) but no world-line appears in the signature"
+	return 0
+}
+
+func Pin(boundary core.Version) { // want "Pin takes a migration boundary \(core.Version\) but no world-line appears in the signature"
+	_ = boundary
+}
+
+type Sealer interface {
+	MigrationBoundary() core.Version // want "interface method Sealer.MigrationBoundary returns a migration boundary \(core.Version\) but no world-line appears in the signature"
+}

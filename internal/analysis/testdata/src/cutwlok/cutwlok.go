@@ -34,3 +34,32 @@ func (s *Snapshotter) Current() core.Cut {
 type Source interface {
 	CurrentCut() (core.Cut, core.WorldLine)
 }
+
+// SealedHandover pairs the migration boundary with the world-line it was
+// sealed on.
+type SealedHandover struct {
+	Boundary  core.Version
+	WorldLine core.WorldLine
+}
+
+// SealBoundary returns the boundary together with its world-line.
+func SealBoundary() (core.Version, core.WorldLine) {
+	return 0, 0
+}
+
+// Migrator owns its boundary; the tracker field tags every method through
+// the receiver scope.
+type Migrator struct {
+	wl       core.WorldLineTracker
+	boundary core.Version
+}
+
+// Boundary is exempt through the receiver's tag.
+func (m *Migrator) Boundary() core.Version {
+	return m.boundary
+}
+
+// Bump shows that versions without boundary naming are not cut positions.
+func Bump(v core.Version) core.Version {
+	return v + 1
+}

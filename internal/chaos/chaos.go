@@ -19,6 +19,7 @@ package chaos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dpr/internal/cluster"
@@ -50,6 +51,11 @@ type Config struct {
 	// sharded epoch-protected index, per-shard checkpoint scans, and
 	// parallel recovery rebuild — all under fault injection.
 	IndexShards int
+	// RetryBadOwner bounds a session's ownership-miss retries (0 = client
+	// default). Elastic scenarios raise it: during a live handover the
+	// moving partitions answer BadOwner until the target claims, and
+	// sessions must ride the freeze window out rather than fail through it.
+	RetryBadOwner int
 }
 
 // workerSlot is one cluster seat: a stable identity (worker ID, proxy,
@@ -77,6 +83,25 @@ type Harness struct {
 	svc   *serviceHook
 	mgr   *cluster.Manager
 	slots []*workerSlot
+
+	// slotMu guards the df pointer of every slot: CrashRestart swaps it on
+	// the schedule goroutine while elastic operations (join/leave/migrate,
+	// which run asynchronously so faults land mid-handover) pick donors from
+	// the same slots.
+	slotMu sync.Mutex
+
+	// Elastic membership state (elastic.go): one spare seat joins and leaves
+	// the cluster mid-schedule. Single-flight — at most one elastic operation
+	// runs at a time — but asynchronous with respect to the fault schedule,
+	// so crashes and severs land mid-migration. elasticErrs records failures
+	// that would wedge the cluster (a drained member that could not leave);
+	// aborted handovers are chaos-normal and only logged.
+	elasticMu   sync.Mutex
+	elasticBusy bool
+	elasticWG   sync.WaitGroup
+	spare       *workerSlot
+	spareUp     bool
+	elasticErrs []string
 
 	// logf, when set (Execute wires it to the test log), narrates recovery
 	// rounds: recovered world-lines, cuts, and restore positions — the facts
@@ -177,7 +202,12 @@ func (h *Harness) attachProxy(slot *workerSlot, backend string) error {
 
 // Close tears the cluster down.
 func (h *Harness) Close() {
-	for _, slot := range h.slots {
+	h.elasticWG.Wait()
+	slots := h.slots
+	if h.spare != nil {
+		slots = append(append([]*workerSlot(nil), slots...), h.spare)
+	}
+	for _, slot := range slots {
 		if slot.proxy != nil {
 			slot.proxy.Close()
 		}
@@ -196,10 +226,21 @@ func (h *Harness) Close() {
 // a red run carries the cluster's protocol state, not just the symptom.
 func (h *Harness) ObsDump() []obs.DPRState {
 	out := []obs.DPRState{h.store.DebugState()}
-	for _, slot := range h.slots {
+	h.slotMu.Lock()
+	live := make([]*workerSlot, len(h.slots))
+	copy(live, h.slots)
+	if h.spare != nil {
+		live = append(live, h.spare)
+	}
+	dfs := make([]*dfaster.Worker, len(live))
+	for i, slot := range live {
+		dfs[i] = slot.df
+	}
+	h.slotMu.Unlock()
+	for i, slot := range live {
 		switch {
-		case slot.df != nil:
-			out = append(out, slot.df.DebugState())
+		case dfs[i] != nil:
+			out = append(out, dfs[i].DebugState())
 		case slot.dr != nil:
 			out = append(out, slot.dr.DebugState())
 		}
@@ -237,11 +278,13 @@ func (h *Harness) Recover() (core.WorldLine, core.Cut, error) {
 // read-faults, modeling a recovery racing a sick disk.
 func (h *Harness) CrashRestart(slotIdx int) error {
 	slot := h.slots[slotIdx]
-	if !slot.dfaster() || slot.df == nil {
-		return fmt.Errorf("chaos: slot %d not a running dfaster worker", slotIdx)
-	}
+	h.slotMu.Lock()
 	w := slot.df
 	slot.df = nil
+	h.slotMu.Unlock()
+	if !slot.dfaster() || w == nil {
+		return fmt.Errorf("chaos: slot %d not a running dfaster worker", slotIdx)
+	}
 
 	// Crash: the manager stops tracking the worker, in-flight client
 	// connections die, the process goes away. The proxy stays — it is the
@@ -293,14 +336,49 @@ func (h *Harness) CrashRestart(slotIdx int) error {
 	if err != nil {
 		return fmt.Errorf("chaos: worker %d restart: %w", slot.id, err)
 	}
-	if err := w2.ClaimPartitions(slot.parts...); err != nil {
-		return fmt.Errorf("chaos: worker %d reclaim: %w", slot.id, err)
+	// Reclaim what the metadata store assigns this seat NOW, not the seat's
+	// seed-time partition set: a live migration may have moved partitions
+	// away (stealing them back would strand committed post-flip writes at
+	// the new owner) or handed this seat extra partitions it must keep
+	// serving. Partitions frozen mid-donation still stripe to this seat —
+	// the recovery round invalidated the migration record, so the target's
+	// CompleteMigrate loses and the restarted donor rightfully serves them.
+	parts := h.currentParts(slot.id)
+	if len(parts) > 0 {
+		if err := w2.ClaimPartitions(parts...); err != nil {
+			return fmt.Errorf("chaos: worker %d reclaim: %w", slot.id, err)
+		}
+	}
+	// Reconcile: a migration target that won its record just before the
+	// recovery round may still be flipping ownership; renounce anything the
+	// stripes meanwhile assigned elsewhere so two workers never both serve a
+	// partition. (A stripe write that lands after this pass is a known
+	// μs-scale gap, documented in DESIGN.md; the strict Leave path and the
+	// checker bound the damage.)
+	for _, p := range parts {
+		if owner, oerr := h.store.OwnerOf(p); oerr == nil && owner != slot.id {
+			w2.Renounce(p)
+		}
 	}
 	slot.proxy.SetBackend(w2.Addr())
 	h.mgr.Attach(w2)
+	h.slotMu.Lock()
 	slot.df = w2
+	h.slotMu.Unlock()
 	_ = h.store.AckWorldLine(slot.id, wl)
 	return nil
+}
+
+// currentParts lists the partitions the metadata ownership stripes assign to
+// worker id right now.
+func (h *Harness) currentParts(id core.WorkerID) []uint64 {
+	var parts []uint64
+	for p := uint64(0); p < uint64(h.cfg.Partitions); p++ {
+		if owner, err := h.store.OwnerOf(p); err == nil && owner == id {
+			parts = append(parts, p)
+		}
+	}
+	return parts
 }
 
 // clearFaults turns every injected fault off (schedule epilogue). Blackholes

@@ -36,6 +36,18 @@ const (
 	EvWriteFaults
 	// EvMetaLatency adds latency to every metadata access for the Window.
 	EvMetaLatency
+	// EvJoin activates the spare seat: a fresh worker joins the live cluster
+	// and every permanent member donates an even share of its partitions.
+	// Asynchronous, so later faults land mid-handover.
+	EvJoin
+	// EvLeave drains the spare seat — everything it owns migrates back to
+	// the permanent members — then stops the worker and removes the member.
+	EvLeave
+	// EvMigrate moves half of one permanent member's partitions to another
+	// live member (the spare when it is up), mid-traffic. Asynchronous: a
+	// following EvCrashRestart on the same slot is the
+	// crash-the-donor-mid-stream scenario.
+	EvMigrate
 
 	evKinds
 )
@@ -58,6 +70,12 @@ func (k EventKind) String() string {
 		return "storage-write-faults"
 	case EvMetaLatency:
 		return "metadata-latency"
+	case EvJoin:
+		return "join-rebalance"
+	case EvLeave:
+		return "drain-leave"
+	case EvMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }
@@ -80,7 +98,7 @@ type Event struct {
 func (e Event) String() string {
 	s := fmt.Sprintf("+%-5s %-26s", e.Gap.Round(time.Millisecond), e.Kind)
 	switch e.Kind {
-	case EvRollback, EvMetaLatency:
+	case EvRollback, EvMetaLatency, EvJoin, EvLeave:
 	default:
 		s += fmt.Sprintf(" slot=%d", e.Slot)
 	}
@@ -130,6 +148,19 @@ func FinderFor(seed int64) metadata.FinderKind {
 // Generate derives a fault schedule from a seed. dfasterSlots worker slots
 // are kill/restart candidates; totalSlots slots take network faults.
 func Generate(seed int64, events, dfasterSlots, totalSlots int) Schedule {
+	return generate(seed, events, dfasterSlots, totalSlots, false)
+}
+
+// GenerateElastic derives a schedule that interleaves elastic membership —
+// spare-seat join/leave and live migrations — with the same fault kinds, so
+// crashes, severs, and metadata latency land mid-handover. The first event
+// is always a join: the membership machinery engages even in short runs.
+// Reproduce a red seed with CHAOS_ELASTIC=1 CHAOS_SEED=<seed>.
+func GenerateElastic(seed int64, events, dfasterSlots, totalSlots int) Schedule {
+	return generate(seed, events, dfasterSlots, totalSlots, true)
+}
+
+func generate(seed int64, events, dfasterSlots, totalSlots int, elastic bool) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	sch := Schedule{Seed: seed, Finder: FinderFor(seed)}
 	ms := func(lo, hi int) time.Duration {
@@ -147,10 +178,20 @@ func Generate(seed int64, events, dfasterSlots, totalSlots int) Schedule {
 		EvWriteFaults, EvWriteFaults,
 		EvMetaLatency, EvMetaLatency,
 	}
+	if elastic {
+		weighted = append(weighted,
+			EvJoin, EvJoin,
+			EvLeave,
+			EvMigrate, EvMigrate, EvMigrate,
+		)
+	}
 	for i := 0; i < events; i++ {
 		ev := Event{
 			Kind: weighted[rng.Intn(len(weighted))],
 			Gap:  ms(20, 60),
+		}
+		if elastic && i == 0 {
+			ev.Kind = EvJoin
 		}
 		switch ev.Kind {
 		case EvCrashRestart:
@@ -173,6 +214,8 @@ func Generate(seed int64, events, dfasterSlots, totalSlots int) Schedule {
 		case EvMetaLatency:
 			ev.Amount = ms(1, 3)
 			ev.Window = ms(15, 40)
+		case EvMigrate:
+			ev.Slot = rng.Intn(dfasterSlots)
 		}
 		sch.Events = append(sch.Events, ev)
 	}
@@ -228,9 +271,23 @@ func (h *Harness) Execute(sch Schedule, logf func(format string, args ...any)) e
 			h.svc.setLatency(ev.Amount)
 			time.Sleep(ev.Window)
 			h.svc.setLatency(0)
+		case EvJoin:
+			h.JoinSpare()
+		case EvLeave:
+			h.LeaveSpare()
+		case EvMigrate:
+			h.MigrateSlot(ev.Slot)
 		}
 	}
 	h.clearFaults()
+	// Elastic operations converge fault-free; wait them out before the final
+	// recovery round so the round runs over settled membership. Handover
+	// aborts along the way were chaos-normal; only cluster-wedging failures
+	// (a drained seat that could not leave) surface here.
+	h.WaitElastic()
+	if errs := h.takeElasticErrs(); len(errs) > 0 {
+		return fmt.Errorf("elastic membership: %s", strings.Join(errs, "; "))
+	}
 	wl, cut, err := h.Recover()
 	if err != nil {
 		return fmt.Errorf("final recovery round: %w", err)

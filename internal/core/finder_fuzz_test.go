@@ -36,7 +36,14 @@ type finderModel struct {
 	prevExact, prevApprox, prevHybrid Cut
 }
 
-const fuzzWorkers = 3
+// fuzzWorkers is the initial membership; maxFuzzWorkers bounds the worker
+// space so scripts can also join members 4 and 5 mid-round (elastic
+// membership: the finder must keep every invariant while AddWorker,
+// RemoveWorker, and migration handovers interleave with reports).
+const (
+	fuzzWorkers    = 3
+	maxFuzzWorkers = 5
+)
 
 func newFinderModel(t *testing.T) *finderModel {
 	m := &finderModel{
@@ -90,7 +97,7 @@ func (m *finderModel) report(w WorkerID, depMask byte) {
 	}
 	var deps []Token
 	v := m.nextV[w]
-	for i := 0; i < fuzzWorkers; i++ {
+	for i := 0; i < maxFuzzWorkers; i++ {
 		dw := WorkerID(i + 1)
 		if depMask&(1<<i) == 0 || dw == w {
 			continue
@@ -170,20 +177,32 @@ func runFinderScript(t *testing.T, data []byte) {
 	m := newFinderModel(t)
 	for i := 0; i+1 < len(data); i += 2 {
 		op, arg := data[i], data[i+1]
-		w := WorkerID(arg%fuzzWorkers) + 1
-		switch op % 8 {
+		w := WorkerID(arg%maxFuzzWorkers) + 1
+		switch op % 10 {
 		case 0, 1, 2, 3: // report with dep mask from the high bits
 			m.report(w, arg>>3)
-		case 4:
+		case 4: // leave
 			m.removeWorker(w)
-		case 5:
+		case 5: // join (or re-join)
 			m.addWorker(w)
 		case 6:
 			m.crashExact()
 		case 7: // burst: every registered worker reports dependency-free
-			for rw := WorkerID(1); rw <= fuzzWorkers; rw++ {
+			for rw := WorkerID(1); rw <= maxFuzzWorkers; rw++ {
 				m.report(rw, 0)
 			}
+		case 8: // migration handover: the donor seals a boundary version and
+			// the target's import depends on it, so the moved state's
+			// recoverability hinges on both ends entering the cut.
+			donor, target := w, WorkerID((arg>>3)%maxFuzzWorkers)+1
+			if donor != target && m.registered[donor] && m.registered[target] {
+				m.report(donor, 0)
+				m.report(target, 1<<(donor-1))
+			}
+		case 9: // join a fresh member and let it report immediately, the
+			// dfaster join path (NewWorker registers, maintenance reports).
+			m.addWorker(w)
+			m.report(w, 0)
 		}
 		m.checkAll()
 	}
@@ -196,12 +215,16 @@ func runFinderScript(t *testing.T, data []byte) {
 // land in testdata/fuzz/FuzzFinderCutProperties as the regression corpus.
 func FuzzFinderCutProperties(f *testing.F) {
 	// Seeds: plain progress; cross-worker dependency chains; remove then
-	// re-add a laggard; crash mid-stream; remove a worker others depend on.
+	// re-add a laggard; crash mid-stream; remove a worker others depend on;
+	// join a fresh member and migrate into it; drain a member out after a
+	// handover (leave while others still depend on its boundary).
 	f.Add([]byte{0, 0, 0, 1, 0, 2, 7, 0})
 	f.Add([]byte{0, 0, 1, 0x0A, 2, 0x31, 0, 0x19, 7, 0})
 	f.Add([]byte{0, 0, 0, 1, 4, 2, 0, 0, 0, 1, 5, 2, 0, 2, 7, 0})
 	f.Add([]byte{0, 0, 1, 1, 6, 0, 0, 0x0A, 0, 1, 7, 0, 0, 2})
 	f.Add([]byte{0, 0, 0, 0x09, 1, 0x1A, 4, 0, 0, 0x19, 5, 0, 7, 0})
+	f.Add([]byte{9, 3, 0, 0, 8, 25, 7, 0, 0, 3})
+	f.Add([]byte{0, 0, 8, 10, 4, 0, 7, 0, 9, 4, 8, 36, 4, 1, 7, 0})
 	f.Fuzz(runFinderScript)
 }
 
@@ -218,6 +241,14 @@ func TestFinderScriptedRegressions(t *testing.T) {
 		{0, 0, 0, 0x09, 1, 0x1A, 4, 0, 0, 0x19, 5, 0, 7, 0},
 		// Every op against every worker, twice around.
 		{0, 0, 1, 1, 2, 2, 4, 0, 5, 0, 6, 0, 7, 0, 0, 0, 1, 1, 2, 2, 4, 1, 5, 1, 7, 0},
+		// Elastic membership: worker 4 joins mid-round and receives a
+		// handover from worker 1 (target's import depends on the donor's
+		// sealed boundary).
+		{9, 3, 0, 0, 8, 25, 7, 0, 0, 3},
+		// Drain: 1 hands over to 2 and leaves while 2's import still
+		// depends on 1's boundary; later 5 joins, receives from 2, and 2
+		// leaves too.
+		{0, 0, 8, 10, 4, 0, 7, 0, 9, 4, 8, 36, 4, 1, 7, 0},
 	}
 	for i, s := range scripts {
 		s := s

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -80,6 +81,22 @@ type Client struct {
 	outstanding int
 	failure     error
 	lastSeq     uint64
+	// retryGateOn gates fresh sends while refused batches are being
+	// re-driven in sequence order (see the ordered-retry section below).
+	retryGateOn bool
+
+	// Ordered retry of refused batches: retryQ holds parked batches in
+	// ascending sequence order, retryBusy marks the head in flight, and
+	// retryOutstanding counts its unsettled operations. retryMu is always
+	// taken before mu when both are needed.
+	retryMu          sync.Mutex
+	retryQ           []*sentBatch
+	retryBusy        bool
+	retryOutstanding int
+	retryWake        chan struct{}
+
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	buffers map[core.WorkerID]*opBuffer
 }
@@ -108,15 +125,18 @@ func NewClient(cfg ClientConfig, meta metadata.Service) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		cfg:     cfg,
-		meta:    meta,
-		session: sess,
-		owners:  make(map[uint64]core.WorkerID),
-		addrs:   make(map[core.WorkerID]string),
-		conns:   make(map[core.WorkerID]*workerConn),
-		buffers: make(map[core.WorkerID]*opBuffer),
+		cfg:       cfg,
+		meta:      meta,
+		session:   sess,
+		owners:    make(map[uint64]core.WorkerID),
+		addrs:     make(map[core.WorkerID]string),
+		conns:     make(map[core.WorkerID]*workerConn),
+		buffers:   make(map[core.WorkerID]*opBuffer),
+		retryWake: make(chan struct{}, 1),
+		closed:    make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	go c.retryLoop()
 	if cfg.LocalWorker != nil {
 		c.localSess = cfg.LocalWorker.Store().NewSession()
 		c.localScratch = NewBatchScratch()
@@ -128,8 +148,17 @@ func NewClient(cfg ClientConfig, meta metadata.Service) (*Client, error) {
 // Session exposes the libDPR session (commit tracking, diagnostics).
 func (c *Client) Session() *libdpr.Session { return c.session }
 
-// Close tears down connections and the local session.
+// Close tears down connections, the retry loop, and the local session.
+// Parked retries resolve as errors: nothing will re-drive them.
 func (c *Client) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.retryMu.Lock()
+	parked := c.retryQ
+	c.retryQ = nil
+	c.retryMu.Unlock()
+	for _, sb := range parked {
+		c.resolveError(sb.ops, sb.cbs)
+	}
 	c.connsMu.Lock()
 	for _, wc := range c.conns {
 		wc.close()
@@ -396,6 +425,9 @@ type sentBatch struct {
 	cbs    []OpCallback
 	// retries counts BadOwner resends.
 	retries int
+	// viaRetry marks a batch dispatched by the retry loop; its settlement
+	// (completion, error, or re-park) releases the loop for the next head.
+	viaRetry bool
 }
 
 type workerConn struct {
@@ -468,13 +500,57 @@ func (c *Client) sendBatch(w core.WorkerID, ops []wire.Op, cbs []OpCallback) err
 	if c.cfg.OnSend != nil {
 		c.cfg.OnSend(h.SeqStart, len(ops))
 	}
-	return c.transmit(w, &sentBatch{header: h, ops: ops, cbs: cbs})
+	// Ordered-retry gate: while refused batches are parked or being
+	// re-driven, hold fresh transmissions back — a fresh (higher-sequence)
+	// batch that reached a worker first would execute ahead of the parked
+	// tail, breaking session order. Re-resolve the owner afterwards: the
+	// retries have updated the routing table.
+	c.mu.Lock()
+	for c.retryGateOn && c.failure == nil {
+		c.cond.Wait()
+	}
+	ok := c.failure == nil
+	c.mu.Unlock()
+	if ok {
+		if owner, oerr := c.ownerOf(ops[0].Key); oerr == nil {
+			w = owner
+		}
+	}
+	return c.transmitRouted(w, &sentBatch{header: h, ops: ops, cbs: cbs})
 }
 
+// transmitRouted sends sb to owner, re-resolving the route on connection
+// failure: a member that drained out of the cluster leaves stale owner and
+// address caches behind, and its replacement is only discoverable through
+// metadata. A failed transmit never delivered the frame (the batch is pulled
+// back out of the in-flight queue), so the retransmission is marked
+// Redirected and admitted below the session fence at whichever worker the
+// metadata now names. Resolves the ops as errors once retries are exhausted.
+func (c *Client) transmitRouted(owner core.WorkerID, sb *sentBatch) error {
+	err := c.transmit(owner, sb)
+	for attempt := 0; err != nil && attempt < c.cfg.RetryBadOwner; attempt++ {
+		c.invalidateOwners()
+		time.Sleep(time.Millisecond)
+		o, oerr := c.ownerOf(sb.ops[0].Key)
+		if oerr != nil {
+			break
+		}
+		sb.header.Redirected = true
+		err = c.transmit(o, sb)
+	}
+	if err != nil {
+		c.resolveError(sb.ops, sb.cbs)
+		c.retrySettle(sb, len(sb.ops))
+	}
+	return err
+}
+
+// transmit sends sb to worker w on its connection. On failure the batch is
+// NOT resolved and is guaranteed off the connection's in-flight queue: the
+// caller still owns it and decides between re-routing and error resolution.
 func (c *Client) transmit(w core.WorkerID, sb *sentBatch) error {
 	wc, err := c.connTo(w)
 	if err != nil {
-		c.resolveError(sb.ops, sb.cbs)
 		return err
 	}
 	// Encode into a pooled buffer; WriteFrame copies into the bufio.Writer,
@@ -488,6 +564,19 @@ func (c *Client) transmit(w core.WorkerID, sb *sentBatch) error {
 	err = wire.WriteFrame(wc.bw, wire.FrameBatchRequest, *out)
 	if err == nil {
 		err = wc.bw.Flush()
+	}
+	if err != nil {
+		// The frame was not delivered (bufio errors are sticky from the
+		// first failed flush). Reclaim the batch before closing so the
+		// read loop's stranded-batch cleanup cannot also resolve it.
+		wc.inflightMu.Lock()
+		for i, q := range wc.inflight {
+			if q == sb {
+				wc.inflight = append(wc.inflight[:i], wc.inflight[i+1:]...)
+				break
+			}
+		}
+		wc.inflightMu.Unlock()
 	}
 	wc.sendMu.Unlock()
 	wire.PutBuffer(out)
@@ -525,6 +614,7 @@ func (c *Client) readLoop(wc *workerConn) {
 		case wire.FrameBatchReply:
 			if err := wire.DecodeBatchReplyInto(&reply, payload); err != nil {
 				c.resolveError(sb.ops, sb.cbs)
+				c.retrySettle(sb, len(sb.ops))
 				continue
 			}
 			versions = growVersions(versions, len(reply.Results))
@@ -532,26 +622,49 @@ func (c *Client) readLoop(wc *workerConn) {
 				versions[i] = reply.Results[i].Version
 			}
 			c.completeBatch(wc.id, sb.header, &reply, versions, sb.cbs)
+			c.retrySettle(sb, len(sb.cbs))
 		case wire.FrameError:
 			er, err := wire.DecodeError(payload)
 			if err != nil {
 				c.resolveError(sb.ops, sb.cbs)
+				c.retrySettle(sb, len(sb.ops))
 				continue
 			}
-			c.handleErrorReply(wc.id, sb, er)
+			c.handleErrorReply(sb, er)
 		default:
 			c.resolveError(sb.ops, sb.cbs)
+			c.retrySettle(sb, len(sb.ops))
 		}
 	}
 	wc.close()
-	// Fail any batches still in flight so Drain never hangs.
+	// Handle batches still in flight so Drain never hangs. A stranded batch
+	// may or may not have executed (the reply could simply be lost), so
+	// write batches resolve as errors — retransmitting them risks double
+	// execution. Read-only batches are side-effect-free: those park for an
+	// ordered re-drive through metadata, which keeps live sessions reading
+	// across a member draining out of the cluster.
 	wc.inflightMu.Lock()
 	stranded := wc.inflight
 	wc.inflight = nil
 	wc.inflightMu.Unlock()
 	for _, sb := range stranded {
+		if readOnly(sb.ops) && sb.retries < c.cfg.RetryBadOwner {
+			sb.retries++
+			c.parkRetry(sb)
+			continue
+		}
 		c.resolveError(sb.ops, sb.cbs)
+		c.retrySettle(sb, len(sb.ops))
 	}
+}
+
+func readOnly(ops []wire.Op) bool {
+	for i := range ops {
+		if ops[i].Kind != wire.OpRead {
+			return false
+		}
+	}
+	return true
 }
 
 // completeBatch feeds a reply into the session and fires callbacks. The
@@ -578,29 +691,185 @@ func (c *Client) completeBatch(w core.WorkerID, h libdpr.BatchHeader, reply *wir
 	return err
 }
 
-func (c *Client) handleErrorReply(w core.WorkerID, sb *sentBatch, er *wire.ErrorReply) {
+func (c *Client) handleErrorReply(sb *sentBatch, er *wire.ErrorReply) {
 	switch er.Code {
-	case wire.ErrCodeBadOwner:
+	case wire.ErrCodeBadOwner, wire.ErrCodeMoved:
+		// The batch was refused — an ownership miss during a migration
+		// freeze (BadOwner) or a partition that migrated away (Moved; the
+		// target has claimed and metadata is authoritative). Either way the
+		// batch parks for an ordered re-drive: the same sequence numbers
+		// travel to the new owner(s), so the session's FIFO frontier and
+		// commit floor carry across the flip, and the Redirected header flag
+		// lets the retransmission under the new owner's session fence (the
+		// session striped lower sequence numbers across the old ownership
+		// map, so a redirected range is routinely below the fence of a
+		// worker that already executed later batches).
 		if sb.retries < c.cfg.RetryBadOwner {
 			sb.retries++
-			c.invalidateOwners()
-			time.Sleep(time.Millisecond) // ownership transfer in progress
-			owner, err := c.ownerOf(sb.ops[0].Key)
-			if err == nil {
-				// Resend the same batch (same header/seqs) to the new owner.
-				if c.transmit(owner, sb) == nil {
-					return
-				}
-			}
+			c.parkRetry(sb)
+			return
 		}
 		c.resolveError(sb.ops, sb.cbs)
+		c.retrySettle(sb, len(sb.ops))
 	case wire.ErrCodeRejected:
 		if err := c.session.NotifyWorldLine(er.WorldLine); err != nil {
 			c.recordFailure(err)
 		}
 		c.resolveError(sb.ops, sb.cbs)
+		c.retrySettle(sb, len(sb.ops))
 	default:
 		c.resolveError(sb.ops, sb.cbs)
+		c.retrySettle(sb, len(sb.ops))
+	}
+}
+
+// redirectBatch retransmits a refused batch after re-resolving ownership per
+// operation. Migration moves partitions independently, so a batch that was
+// owner-homogeneous when it was enqueued may now span owners: it is split
+// into maximal runs of consecutive operations with the same owner, each
+// forwarded as its own sub-batch carrying its slice of the sequence range
+// (the session tracker resolves sequence numbers individually, so sub-range
+// completions compose). Every run is marked Redirected — its range was
+// refused, never executed, at each worker that answered it.
+func (c *Client) redirectBatch(sb *sentBatch) {
+	for start := 0; start < len(sb.ops); {
+		owner, err := c.ownerOf(sb.ops[start].Key)
+		if err != nil {
+			c.resolveError(sb.ops[start:start+1], sb.cbs[start:start+1])
+			c.retrySettle(sb, 1)
+			start++
+			continue
+		}
+		end := start + 1
+		for end < len(sb.ops) {
+			o, oerr := c.ownerOf(sb.ops[end].Key)
+			if oerr != nil || o != owner {
+				break
+			}
+			end++
+		}
+		run := &sentBatch{header: sb.header, ops: sb.ops[start:end], cbs: sb.cbs[start:end],
+			retries: sb.retries, viaRetry: sb.viaRetry}
+		run.header.SeqStart += uint64(start)
+		run.header.NumOps = uint32(end - start)
+		run.header.Redirected = true
+		c.transmitRouted(owner, run)
+		start = end
+	}
+}
+
+// ---- ordered retry of refused batches ----
+//
+// A refused batch (BadOwner during a migration freeze, Moved after a flip,
+// a read stranded by a dead connection) cannot simply be retransmitted from
+// the spot where the refusal was observed: the session has later batches
+// pipelined, and a refused batch that re-enters the wire behind them
+// executes out of session order — an older write landing after a newer one
+// to the same key silently loses the newer value. Refused batches park in a
+// sequence-ordered queue re-driven by a single goroutine, one batch at a
+// time: the head is retransmitted only when nothing else from the queue is
+// in flight, and fresh sends gate until the queue drains. Workers enforce
+// the same order for batches that were already in the pipe when the first
+// refusal happened (the refusal ledger, refusal.go).
+
+// parkRetry inserts sb into the retry queue in sequence order, engages the
+// fresh-send gate, and wakes the retry loop. A re-parked head (refused
+// again) releases the loop for the next attempt.
+func (c *Client) parkRetry(sb *sentBatch) {
+	c.retryMu.Lock()
+	if sb.viaRetry {
+		sb.viaRetry = false
+		c.retryOutstanding -= len(sb.ops)
+		if c.retryOutstanding <= 0 {
+			c.retryBusy = false
+		}
+	}
+	i := sort.Search(len(c.retryQ), func(i int) bool {
+		return c.retryQ[i].header.SeqStart >= sb.header.SeqStart
+	})
+	c.retryQ = append(c.retryQ, nil)
+	copy(c.retryQ[i+1:], c.retryQ[i:])
+	c.retryQ[i] = sb
+	dispatch := !c.retryBusy
+	c.mu.Lock()
+	if !c.retryGateOn {
+		c.retryGateOn = true
+	}
+	c.mu.Unlock()
+	c.retryMu.Unlock()
+	if dispatch {
+		select {
+		case c.retryWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// retrySettle accounts n settled operations of a retry-dispatched batch
+// (completed, error-resolved, or split-run finished). When the dispatched
+// head has fully settled, the loop is released; when the queue is empty and
+// idle, the fresh-send gate lifts. No-op for batches the loop did not
+// dispatch.
+func (c *Client) retrySettle(sb *sentBatch, n int) {
+	if !sb.viaRetry {
+		return
+	}
+	c.retryMu.Lock()
+	c.retryOutstanding -= n
+	if c.retryOutstanding <= 0 {
+		c.retryBusy = false
+	}
+	gate := c.retryBusy || len(c.retryQ) > 0
+	dispatch := !c.retryBusy && len(c.retryQ) > 0
+	c.mu.Lock()
+	if c.retryGateOn != gate {
+		c.retryGateOn = gate
+		if !gate {
+			c.cond.Broadcast()
+		}
+	}
+	c.mu.Unlock()
+	c.retryMu.Unlock()
+	if dispatch {
+		select {
+		case c.retryWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// retryLoop re-drives parked batches one at a time in ascending sequence
+// order. The pause before each attempt gives an in-progress ownership
+// transfer a moment to land; the owner cache is re-resolved per attempt.
+func (c *Client) retryLoop() {
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-c.retryWake:
+		}
+		for {
+			c.retryMu.Lock()
+			if c.retryBusy || len(c.retryQ) == 0 {
+				c.retryMu.Unlock()
+				break
+			}
+			sb := c.retryQ[0]
+			c.retryQ = c.retryQ[1:]
+			c.retryBusy = true
+			c.retryOutstanding = len(sb.ops)
+			sb.viaRetry = true
+			c.retryMu.Unlock()
+			select {
+			case <-c.closed:
+				c.resolveError(sb.ops, sb.cbs)
+				c.retrySettle(sb, len(sb.ops))
+				return
+			case <-time.After(time.Millisecond):
+			}
+			c.invalidateOwners()
+			c.redirectBatch(sb)
+		}
 	}
 }
 

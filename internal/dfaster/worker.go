@@ -86,6 +86,19 @@ type Worker struct {
 	ownedMu   sync.Mutex
 	owned     map[uint64]time.Time // partition -> lease expiry (zero = no expiry)
 	ownedSnap atomic.Pointer[map[uint64]time.Time]
+	// moved records partitions this worker donated and who owns them now, so
+	// ownership misses from sessions still routed here turn into
+	// ErrCodeMoved redirects (carrying the new owner) instead of blind
+	// BadOwner retries. Mutated under ownedMu alongside owned; the hot path
+	// reads movedSnap, and only on an ownership miss.
+	moved     map[uint64]core.WorkerID
+	movedSnap atomic.Pointer[map[uint64]core.WorkerID]
+
+	// Refused-batch ordering (refusal.go): refusalOn counts live ledgers so
+	// the hot path pays one atomic load when no refusals are outstanding.
+	refusalOn atomic.Int32
+	refusalMu sync.Mutex
+	refusals  map[refusalKey]*refusalLedger
 
 	ln       net.Listener
 	stop     chan struct{}
@@ -135,15 +148,19 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		return nil, errors.New("dfaster: Partitions must be positive")
 	}
 	w := &Worker{
-		cfg:   cfg,
-		store: store,
-		meta:  meta,
-		owned: make(map[uint64]time.Time),
-		conns: make(map[net.Conn]struct{}),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		store:    store,
+		meta:     meta,
+		owned:    make(map[uint64]time.Time),
+		moved:    make(map[uint64]core.WorkerID),
+		refusals: make(map[refusalKey]*refusalLedger),
+		conns:    make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
 	}
 	empty := make(map[uint64]time.Time)
 	w.ownedSnap.Store(&empty)
+	emptyMoved := make(map[uint64]core.WorkerID)
+	w.movedSnap.Store(&emptyMoved)
 	addr := cfg.ListenAddr
 	if addr != "" {
 		ln, err := net.Listen("tcp", addr)
@@ -334,6 +351,48 @@ func (w *Worker) publishOwnedLocked() {
 	w.ownedSnap.Store(&snap)
 }
 
+// publishMovedLocked republishes the donated-partition snapshot; ownedMu
+// must be held.
+func (w *Worker) publishMovedLocked() {
+	snap := make(map[uint64]core.WorkerID, len(w.moved))
+	for p, o := range w.moved {
+		snap[p] = o
+	}
+	w.movedSnap.Store(&snap)
+}
+
+// markMoved records that partitions were donated to another worker, turning
+// subsequent ownership misses into ErrCodeMoved redirects.
+func (w *Worker) markMoved(ps []uint64, to core.WorkerID) {
+	w.ownedMu.Lock()
+	for _, p := range ps {
+		w.moved[p] = to
+	}
+	w.publishMovedLocked()
+	w.ownedMu.Unlock()
+	w.dropRefusals(ps)
+}
+
+// MarkMoved records that partitions now live on another worker without
+// claiming or renouncing anything locally: the migration coordinator uses it
+// when a handover completed on the target side but the donor missed the ack,
+// so stale sessions still get redirected.
+func (w *Worker) MarkMoved(ps []uint64, to core.WorkerID) { w.markMoved(ps, to) }
+
+// OwnedPartitions lists the partitions this worker currently owns (live
+// leases only, when leasing is enabled).
+func (w *Worker) OwnedPartitions() []uint64 {
+	owned := *w.ownedSnap.Load()
+	now := time.Now()
+	ps := make([]uint64, 0, len(owned))
+	for p := range owned {
+		if ownsAt(owned, p, now) {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
 // ClaimPartitions registers this worker as the owner of the given virtual
 // partitions, both locally and in the metadata store. With leasing enabled,
 // the local claim is valid for LeaseDuration and renewed by the lease loop.
@@ -347,8 +406,12 @@ func (w *Worker) ClaimPartitions(ps ...uint64) error {
 	w.ownedMu.Lock()
 	for _, p := range ps {
 		w.owned[p] = expiry
+		// A partition that migrated away and back is owned here again; stale
+		// redirects would bounce sessions to a worker that no longer owns it.
+		delete(w.moved, p)
 	}
 	w.publishOwnedLocked()
+	w.publishMovedLocked()
 	w.ownedMu.Unlock()
 	return nil
 }
@@ -430,6 +493,10 @@ func (w *Worker) TransferPartition(p uint64, to *Worker) error {
 		return fmt.Errorf("dfaster: worker %d does not own partition %d", w.cfg.ID, p)
 	}
 	w.Renounce(p)
+	// Flush batches still executing against the pre-renounce ownership
+	// snapshot before sealing the boundary (same freeze rule as
+	// DonatePartitions).
+	w.dpr.QuiesceExecution()
 	// Defer to a checkpoint boundary: force a version change so all
 	// operations this worker executed on the partition sit in versions
 	// strictly before the transfer.
@@ -585,6 +652,12 @@ func (w *Worker) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if tag == wire.FrameMigrateBegin {
+			// The connection becomes a dedicated migration stream: receive
+			// the partition handover, ack, and close.
+			w.receiveMigration(fr, bw, sess, payload)
+			return
+		}
 		if tag != wire.FrameBatchRequest {
 			return
 		}
@@ -639,13 +712,41 @@ func (w *Worker) executeBatch(sess *kv.Session, req *wire.BatchRequest, sc *Batc
 	owned := *w.ownedSnap.Load()
 	now := time.Now()
 	for i := range req.Ops {
-		if !ownsAt(owned, PartitionOf(req.Ops[i].Key, w.cfg.Partitions), now) {
+		part := PartitionOf(req.Ops[i].Key, w.cfg.Partitions)
+		if !ownsAt(owned, part, now) {
 			w.badOwnerC.Inc()
+			// A donated partition redirects with the new owner, so the
+			// session re-routes on its next transmit without a metadata
+			// round trip; anything else is a plain ownership miss.
+			if newOwner, donated := (*w.movedSnap.Load())[part]; donated {
+				return nil, &wire.ErrorReply{ //dpr:ignore hotpath-noalloc cold reject path: ownership misses only happen around migrations
+					Code:      wire.ErrCodeMoved,
+					WorldLine: w.dpr.WorldLine(),
+					NewOwner:  newOwner,
+					Message:   fmt.Sprintf("partition %d moved to worker %d", part, newOwner), //dpr:ignore hotpath-noalloc cold reject path: formatting only on ownership misses
+				}
+			}
+			// Record the refusal so later pipelined batches from this
+			// session cannot overtake this one if the partition becomes
+			// servable again (refusal.go).
+			w.recordRefusal(req.Header.SessionID, req.Header.SeqStart, req.Ops)
 			return nil, &wire.ErrorReply{ //dpr:ignore hotpath-noalloc cold reject path: ownership misses only happen around migrations
 				Code:      wire.ErrCodeBadOwner,
 				WorldLine: w.dpr.WorldLine(),
 				Message:   fmt.Sprintf("key %q not owned by worker %d", req.Ops[i].Key, w.cfg.ID), //dpr:ignore hotpath-noalloc cold reject path: formatting only on ownership misses
 			}
+		}
+	}
+	// Session replay ordering: while earlier-refused sequence numbers are
+	// pending for any of this batch's (session, partition) pairs, only the
+	// minimum refused sequence may execute (refusal.go). One atomic load in
+	// steady state.
+	if w.refusalOn.Load() != 0 && !w.refusalAdmit(req.Header.SessionID, req.Header.SeqStart, req.Ops) {
+		w.badOwnerC.Inc()
+		return nil, &wire.ErrorReply{ //dpr:ignore hotpath-noalloc cold reject path: only while refused batches are being re-driven
+			Code:      wire.ErrCodeBadOwner,
+			WorldLine: w.dpr.WorldLine(),
+			Message:   "held for session replay ordering",
 		}
 	}
 	executed = true

@@ -110,11 +110,22 @@ func TestObsEndpoints(t *testing.T) {
 	if v, ok := findMetric(after, "dpr_server_batches_total"); !ok || v < 1 {
 		t.Fatalf("dpr_server_batches_total = %v after workload", v)
 	}
+	// The committed gauge reflects the worker's own cut view, refreshed from
+	// the finder on the heartbeat cadence; the client's commit wait polls the
+	// finder directly, so the gauge can trail the wait briefly. Poll past the
+	// refresh race instead of trusting a single scrape.
 	committedBefore, _ := findMetric(before, "dpr_worker_committed_version")
-	committedAfter, ok := findMetric(after, "dpr_worker_committed_version")
-	if !ok || committedAfter <= committedBefore {
-		t.Fatalf("committed version did not advance with the workload: %v -> %v",
-			committedBefore, committedAfter)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		committedAfter, ok := findMetric(scrapeMetrics(t, w1ObsHTTP), "dpr_worker_committed_version")
+		if ok && committedAfter > committedBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("committed version did not advance with the workload: %v -> %v",
+				committedBefore, committedAfter)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 
 	// /debug/dpr decodes on both store kinds.

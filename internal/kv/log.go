@@ -181,9 +181,9 @@ func (r recordView) prevRaw() uint64  { return word8(r.buf[0:]).Load() }
 func (r recordView) setPrev(a int64)  { word8(r.buf[0:]).Store(uint64(a)) }
 func (r recordView) meta() uint64     { return word8(r.buf[8:]).Load() }
 func (r recordView) setMeta(m uint64) { word8(r.buf[8:]).Store(m) }
-func (r recordView) keyLen() int { return int(binary.LittleEndian.Uint32(r.buf[16:])) }
-func (r recordView) valCap() int { return int(binary.LittleEndian.Uint32(r.buf[20:])) }
-func (r recordView) valLen() int { return int(binary.LittleEndian.Uint32(r.buf[24:])) }
+func (r recordView) keyLen() int      { return int(binary.LittleEndian.Uint32(r.buf[16:])) }
+func (r recordView) valCap() int      { return int(binary.LittleEndian.Uint32(r.buf[20:])) }
+func (r recordView) valLen() int      { return int(binary.LittleEndian.Uint32(r.buf[24:])) }
 func (r recordView) setValLen(n int) {
 	binary.LittleEndian.PutUint32(r.buf[24:], uint32(n))
 }

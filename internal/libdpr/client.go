@@ -185,7 +185,12 @@ func (s *Session) CompleteBatch(worker core.WorkerID, h BatchHeader, r BatchRepl
 	s.tracker.CompleteBatch(r.WorldLine, h.SeqStart, worker, r.Versions)
 	if len(r.Cut) > 0 {
 		s.mu.Lock()
-		changed := r.WorldLine != s.lastCutWL || !s.lastCut.Equal(r.Cut)
+		// While a SurvivalError is unacknowledged the committed prefix is
+		// frozen: advancing it would extend over the rollback's exception
+		// holes before the application has seen the exception list, making
+		// Committed() silently misclassify erased operations as committed.
+		changed := s.failure == nil &&
+			(r.WorldLine != s.lastCutWL || !s.lastCut.Equal(r.Cut))
 		if changed {
 			s.lastCut = r.Cut.Clone()
 			s.lastCutWL = r.WorldLine
@@ -223,7 +228,17 @@ func (s *Session) handleFailure(wl core.WorldLine) error {
 		// Cannot resolve yet; surface a transient error, caller retries.
 		return fmt.Errorf("libdpr: world-line %d announced but cut unavailable: %w", wl, err)
 	}
+	// OnFailure and the failure flag update under one critical section: the
+	// moment the tracker adopts the new world-line, every other thread must
+	// already see the pending failure, or a concurrent RefreshCommit could
+	// slip past its failure check and advance the committed prefix over the
+	// rollback's exception holes before the application acknowledged them.
+	s.mu.Lock()
 	surv := s.tracker.OnFailure(wl, cut)
+	if surv != nil {
+		s.failure = surv
+	}
+	s.mu.Unlock()
 	// Drop any outstanding probe: the rollback may have erased the probed
 	// batch, in which case its target seq would never be covered.
 	s.probeSeq.Store(0)
@@ -231,9 +246,6 @@ func (s *Session) handleFailure(wl core.WorldLine) error {
 		return nil // stale
 	}
 	survivalErrors.Inc()
-	s.mu.Lock()
-	s.failure = surv
-	s.mu.Unlock()
 	return surv
 }
 
@@ -276,6 +288,9 @@ func (s *Session) Committed() (uint64, []uint64) { return s.tracker.Committed() 
 
 // RefreshCommit polls the finder once and folds the latest cut into the
 // committed prefix; returns the new prefix. Also detects world-line changes.
+// Like NextBatch it fails fast while a SurvivalError is unacknowledged: the
+// cut observed then belongs to the post-rollback world, and folding it in
+// would commit over exception holes the application has not yet seen.
 func (s *Session) RefreshCommit() (uint64, error) {
 	cut, _, wl, err := s.meta.State()
 	if err != nil {
@@ -286,6 +301,12 @@ func (s *Session) RefreshCommit() (uint64, error) {
 			return 0, err
 		}
 	}
+	s.mu.Lock()
+	if f := s.failure; f != nil {
+		s.mu.Unlock()
+		return 0, f
+	}
+	s.mu.Unlock()
 	p, _ := s.tracker.AdvanceCommitted(wl, cut)
 	s.resolveProbe(p)
 	return p, nil

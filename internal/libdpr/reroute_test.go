@@ -1,0 +1,192 @@
+package libdpr_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/libdpr"
+	"dpr/internal/metadata"
+)
+
+// rerouteStep is one transmission attempt of (a slice of) an issued batch at
+// a worker: the migration redirect protocol replayed by hand. A step either
+// executes (refused=false) and advances the worker's session fence, or is
+// refused after admission (ownership miss: released unexecuted so the same
+// sequence numbers can be retransmitted elsewhere), or is expected to bounce
+// off the session fence with ErrStaleBatch.
+type rerouteStep struct {
+	batch      int // index into the issued batches
+	off, n     int // sub-range of the batch (n == 0 means the whole batch)
+	worker     int // harness worker index
+	redirected bool
+	refused    bool // admit, then release unexecuted (simulated ownership miss)
+	wantStale  bool
+}
+
+// TestSessionRerouteAcrossOwnershipFlip drives a session whose sequence
+// space is striped across workers through an ownership flip: batches refused
+// at the old owner are retransmitted to the new owner with the Redirected
+// header flag, below a fence the new owner already advanced by executing its
+// natively-owned (higher) sequence numbers. The FIFO frontier must survive —
+// redirected ranges are admitted below the fence without regressing it — and
+// the commit floor must keep rising: every sequence number commits with no
+// exceptions.
+func TestSessionRerouteAcrossOwnershipFlip(t *testing.T) {
+	const batchSize = 2
+	cases := []struct {
+		name    string
+		batches int
+		steps   []rerouteStep
+		// lastSeq of the issued batches commits with no exceptions.
+		wantCommit bool
+	}{
+		{
+			// The new owner executed its native range (batch 2) first; the
+			// old owner refuses batches 0 and 1, which replay at the new
+			// owner below its fence. Flagged, they must be admitted, and the
+			// fence must not regress: an unflagged replay of batch 0 still
+			// bounces.
+			name:    "redirect_below_fence_admits",
+			batches: 3,
+			steps: []rerouteStep{
+				{batch: 2, worker: 1},
+				{batch: 0, worker: 0, refused: true},
+				{batch: 1, worker: 0, refused: true},
+				{batch: 0, worker: 1, redirected: true},
+				{batch: 1, worker: 1, redirected: true},
+				{batch: 0, worker: 1, wantStale: true},
+			},
+			wantCommit: true,
+		},
+		{
+			// A legacy retransmission without the flag is indistinguishable
+			// from a stale replay and must stay fenced out; the flagged
+			// retransmission of the same range then goes through.
+			name:    "unflagged_below_fence_stays_fenced",
+			batches: 2,
+			steps: []rerouteStep{
+				{batch: 1, worker: 1},
+				{batch: 0, worker: 0, refused: true},
+				{batch: 0, worker: 1, wantStale: true},
+				{batch: 0, worker: 1, redirected: true},
+			},
+			wantCommit: true,
+		},
+		{
+			// A partial migration splits a refused batch across owners: each
+			// sub-range carries its slice of the sequence numbers and the
+			// session's tracker composes the sub-completions into one
+			// gapless committed prefix.
+			name:    "split_subranges_compose",
+			batches: 2,
+			steps: []rerouteStep{
+				{batch: 0, worker: 0, refused: true},
+				{batch: 1, worker: 0},
+				{batch: 0, off: 0, n: 1, worker: 1, redirected: true},
+				{batch: 0, off: 1, n: 1, worker: 2, redirected: true},
+			},
+			wantCommit: true,
+		},
+		{
+			// Redirected admission is not a blank check: once the new owner
+			// has executed a redirected range, a duplicate unflagged replay
+			// of it is stale, and later native batches keep executing in
+			// order.
+			name:    "fence_intact_after_redirects",
+			batches: 3,
+			steps: []rerouteStep{
+				{batch: 0, worker: 0, refused: true},
+				{batch: 0, worker: 1, redirected: true},
+				{batch: 1, worker: 1},
+				{batch: 0, worker: 1, wantStale: true},
+				{batch: 2, worker: 1},
+			},
+			wantCommit: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, 3, metadata.FinderApproximate, 5*time.Millisecond)
+			s, err := libdpr.NewSession(h.meta, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lanes := make([]*libdpr.ExecLane, len(h.workers))
+			for i, w := range h.workers {
+				lanes[i] = w.NewLane()
+				defer lanes[i].Close()
+			}
+
+			headers := make([]libdpr.BatchHeader, tc.batches)
+			for i := range headers {
+				hdr, err := s.NextBatch(batchSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				headers[i] = hdr
+			}
+			var lastSeq uint64
+			for _, hdr := range headers {
+				if end := hdr.SeqStart + uint64(hdr.NumOps) - 1; end > lastSeq {
+					lastSeq = end
+				}
+			}
+
+			for si, st := range tc.steps {
+				hdr := headers[st.batch]
+				if st.n > 0 {
+					hdr.SeqStart += uint64(st.off)
+					hdr.NumOps = uint32(st.n)
+				}
+				hdr.Redirected = st.redirected
+				w, lane := h.workers[st.worker], lanes[st.worker]
+				_, err := w.AdmitBatchGuarded(hdr, lane)
+				if st.wantStale {
+					if !errors.Is(err, libdpr.ErrStaleBatch) {
+						t.Fatalf("step %d: err = %v, want ErrStaleBatch", si, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("step %d: admit: %v", si, err)
+				}
+				if st.refused {
+					w.ReleaseBatch(hdr, lane, false)
+					continue
+				}
+				versions := make([]core.Version, hdr.NumOps)
+				var maxVer core.Version
+				for i := range versions {
+					key := fmt.Sprintf("k-%d", hdr.SeqStart+uint64(i))
+					ver, uerr := h.kvSess[st.worker].Upsert([]byte(key), []byte("v"))
+					if uerr != nil {
+						t.Fatal(uerr)
+					}
+					versions[i] = ver
+					if ver > maxVer {
+						maxVer = ver
+					}
+				}
+				w.RecordDependency(maxVer, hdr.Dep)
+				w.ReleaseBatch(hdr, lane, true)
+				if cerr := s.CompleteBatch(w.ID(), hdr, w.Reply(versions)); cerr != nil {
+					t.Fatalf("step %d: complete: %v", si, cerr)
+				}
+			}
+
+			if tc.wantCommit {
+				if err := s.WaitCommit(lastSeq, 5*time.Second); err != nil {
+					t.Fatalf("commit floor stalled across the flip: %v", err)
+				}
+				p, exc := s.Committed()
+				if p < lastSeq || len(exc) != 0 {
+					t.Fatalf("prefix %d (exceptions %v), want >= %d with none", p, exc, lastSeq)
+				}
+			}
+		})
+	}
+}

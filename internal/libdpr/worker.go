@@ -47,6 +47,15 @@ type BatchHeader struct {
 	// the cross-shard dependency this batch introduces (zero Version means
 	// no dependency).
 	Dep core.Token
+	// Redirected marks a retransmission after an ownership redirect
+	// (BadOwner/Moved): every worker that answered this sequence range
+	// refused it without executing, so the range has never executed
+	// anywhere. The receiving worker's session gate admits it even below
+	// the fence — pre-migration the session legitimately striped lower
+	// sequence numbers across other owners, so a redirected range routinely
+	// arrives below the fence of a worker that has already executed later
+	// batches.
+	Redirected bool
 }
 
 // BatchReply is the DPR portion of a batch response.
@@ -549,7 +558,7 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader, lane *ExecLane) (core.WorldLin
 		// The session crossed a rollback; its sequence space restarted.
 		g.wl, g.next = h.WorldLine, 0
 	}
-	if h.SeqStart < g.next {
+	if h.SeqStart < g.next && !h.Redirected {
 		fence := g.next
 		g.mu.Unlock()
 		lane.slot.Exit()
@@ -666,6 +675,55 @@ func (w *Worker) TriggerCommit() error {
 	return w.so.BeginCommit(target)
 }
 
+// CommitBoundary seals a commit boundary for a partition handover: it
+// commits everything up to the current version, waits until the store has
+// moved past the boundary (so no new operation can land at or below it) and
+// the boundary is durably persisted, then reports the persisted prefix to
+// the finder. Every record at a version ≤ the returned boundary is frozen:
+// the donor side of a migration streams exactly that prefix.
+func (w *Worker) CommitBoundary(timeout time.Duration) (core.Version, error) {
+	boundary := w.so.CurrentVersion()
+	if err := w.so.BeginCommit(boundary); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(timeout)
+	for w.so.CurrentVersion() <= boundary {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("libdpr: version did not advance past boundary %d within %v", boundary, timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	for w.so.PersistedVersion() < boundary {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("libdpr: boundary %d not persisted within %v", boundary, timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	w.reportPersisted()
+	return boundary, nil
+}
+
+// WaitCutCovers blocks until the finder's published DPR cut covers version v
+// for this worker — i.e. until (w, v) is committed and can no longer be
+// rolled back on this world-line. The receive side of a migration calls this
+// before claiming ownership, so a post-handover crash of the target cannot
+// erase the imported state. Polls the finder directly (the worker's cached
+// cut refreshes on its own slower cadence) and nudges reporting along.
+func (w *Worker) WaitCutCovers(v core.Version, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		w.reportPersisted()
+		cut, _, _, err := w.meta.State()
+		if err == nil && cut.Get(w.cfg.ID) >= v {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("libdpr: DPR cut did not cover version %d within %v", v, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
 // Rollback rolls the StateObject back to the cut position for this worker
 // and advances to the new world-line; the cluster manager invokes it on
 // every surviving worker during failure recovery (§4.1). Idempotent per
@@ -717,6 +775,17 @@ func (w *Worker) Rollback(wl core.WorldLine, cut core.Cut) error {
 	_ = w.meta.AckWorldLine(w.cfg.ID, wl)
 	return nil
 }
+
+// QuiesceExecution blocks until every batch execution in flight at the time
+// of the call has completed (released its lane slot). The migration donor
+// calls it between renouncing the moving partitions and sealing the
+// migration boundary: a batch that passed the serving layer's ownership
+// check against the pre-freeze snapshot may still be executing, and its
+// writes must land below the boundary — otherwise the handover stream would
+// silently leave a committed, acknowledged write behind. Unlike the rollback
+// path no fence is raised: new batches keep executing freely (they observe
+// the renounced ownership snapshot and are refused before touching state).
+func (w *Worker) QuiesceExecution() { w.exec.Drain() }
 
 // Stop halts background maintenance and deregisters nothing (membership is
 // durable; workers that leave for good call Deregister separately).

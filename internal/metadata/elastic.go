@@ -1,0 +1,180 @@
+// Elastic membership: dynamic Join/Leave plus the migration registry that
+// coordinates live partition handover (internal/migration). The metadata
+// store is the single source of truth for which migrations are in flight;
+// a recovery round (world-line bump) clears the registry, because the
+// migration boundary was taken on the old world-line and the rollback may
+// have erased part of the donor's streamed state. Coordinators discover the
+// invalidation when CompleteMigrate fails and abort.
+package metadata
+
+import (
+	"fmt"
+
+	"dpr/internal/core"
+)
+
+// ElasticService extends Service with dynamic membership and migration
+// tracking. Implemented in-process by *Store and over the network by
+// *RPCClient.
+type ElasticService interface {
+	Service
+	// Join adds a worker to a live cluster (RegisterWorker plus finder
+	// tracking; the new member gates the cut at version 0 until it reports).
+	Join(w core.WorkerID, addr string) error
+	// Leave removes a worker that owns no partitions. It fails — and the
+	// member row stays — while any ownership stripe still points at w, so a
+	// racing OwnerOf can never resolve to a departed worker.
+	Leave(w core.WorkerID) error
+	// BeginMigrate registers an in-flight migration of partitions from one
+	// member to another and returns its id. The migration is tagged with the
+	// current world-line and cut; a recovery round invalidates it.
+	BeginMigrate(partitions []uint64, from, to core.WorkerID) (uint64, error)
+	// CompleteMigrate retires a migration record. The target calls it as the
+	// commit point of the handover, immediately before claiming the
+	// partitions: exactly one of CompleteMigrate and AbortMigrate can win
+	// the record (both are serialized on the store), so a coordinator whose
+	// abort removed the record knows the target can no longer flip
+	// ownership. Fails if the migration was already completed, aborted, or
+	// invalidated by a world-line bump.
+	CompleteMigrate(id uint64) error
+	// AbortMigrate drops an in-flight migration and reports whether this
+	// call removed the record. removed=true guarantees the target's
+	// CompleteMigrate will fail, so the donor can safely re-claim the
+	// partitions; removed=false means the record was already gone — either
+	// the target completed (ownership flipped, or is about to flip) or
+	// recovery cleared the registry. Unknown ids are not an error: abort is
+	// cleanup, not a transaction.
+	AbortMigrate(id uint64) (removed bool, err error)
+	// Migrations lists the in-flight migrations.
+	Migrations() ([]Migration, error)
+}
+
+// Migration describes one in-flight partition handover. Cut is the DPR cut
+// at the moment the migration was registered, tagged with the world-line it
+// belongs to; the pair is immutable once published.
+type Migration struct {
+	ID         uint64
+	Partitions []uint64
+	From       core.WorkerID
+	To         core.WorkerID
+	WorldLine  core.WorldLine
+	Cut        core.Cut
+}
+
+// Join implements ElasticService.
+func (s *Store) Join(w core.WorkerID, addr string) error {
+	return s.RegisterWorker(w, addr)
+}
+
+// Leave implements ElasticService. DeregisterWorker carries the
+// ownership-stripe check, so Leave is the same strict path under the
+// protocol's name.
+func (s *Store) Leave(w core.WorkerID) error {
+	return s.DeregisterWorker(w)
+}
+
+// ownedPartition scans the ownership stripes for a partition still pointing
+// at w, returning the first hit.
+func (s *Store) ownedPartition(w core.WorkerID) (uint64, bool) {
+	for i := range s.owners {
+		st := &s.owners[i]
+		st.mu.Lock()
+		for p, owner := range st.m {
+			if owner == w {
+				st.mu.Unlock()
+				return p, true
+			}
+		}
+		st.mu.Unlock()
+	}
+	return 0, false
+}
+
+// BeginMigrate implements ElasticService.
+func (s *Store) BeginMigrate(partitions []uint64, from, to core.WorkerID) (uint64, error) {
+	s.simulateLatency()
+	if len(partitions) == 0 {
+		return 0, fmt.Errorf("metadata: empty migration")
+	}
+	if !s.hasMember(from) {
+		return 0, fmt.Errorf("metadata: migration source %d not a member", from)
+	}
+	if !s.hasMember(to) {
+		return 0, fmt.Errorf("metadata: migration target %d not a member", to)
+	}
+	for _, p := range partitions {
+		owner, err := s.OwnerOf(p)
+		if err != nil {
+			return 0, err
+		}
+		if owner != from {
+			return 0, fmt.Errorf("metadata: partition %d owned by %d, not migration source %d", p, owner, from)
+		}
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.migSeq++
+	id := s.migSeq
+	cut := s.finder.CurrentCut()
+	if s.frozen {
+		cut = s.frozenCut.Clone()
+	}
+	m := Migration{
+		ID:         id,
+		Partitions: append([]uint64(nil), partitions...),
+		From:       from,
+		To:         to,
+		WorldLine:  s.worldLine,
+		Cut:        cut,
+	}
+	if s.migrations == nil {
+		s.migrations = make(map[uint64]Migration)
+	}
+	s.migrations[id] = m
+	s.gen.Add(1)
+	s.persist()
+	return id, nil
+}
+
+// CompleteMigrate implements ElasticService.
+func (s *Store) CompleteMigrate(id uint64) error {
+	s.simulateLatency()
+	s.stateMu.Lock()
+	_, ok := s.migrations[id]
+	if ok {
+		delete(s.migrations, id)
+		s.gen.Add(1)
+	}
+	s.stateMu.Unlock()
+	if !ok {
+		return fmt.Errorf("metadata: migration %d unknown (completed, aborted, or invalidated by recovery)", id)
+	}
+	s.persist()
+	return nil
+}
+
+// AbortMigrate implements ElasticService.
+func (s *Store) AbortMigrate(id uint64) (bool, error) {
+	s.simulateLatency()
+	s.stateMu.Lock()
+	_, ok := s.migrations[id]
+	if ok {
+		delete(s.migrations, id)
+		s.gen.Add(1)
+	}
+	s.stateMu.Unlock()
+	s.persist()
+	return ok, nil
+}
+
+// Migrations implements ElasticService. The slice comes from the published
+// gen-checked view, so concurrent readers share one snapshot.
+func (s *Store) Migrations() ([]Migration, error) {
+	s.simulateLatency()
+	v := s.view()
+	out := make([]Migration, len(v.migs))
+	copy(out, v.migs)
+	return out, nil
+}
+
+var _ ElasticService = (*Store)(nil)

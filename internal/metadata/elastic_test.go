@@ -1,0 +1,156 @@
+package metadata
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestOwnerOfNeverReturnsDeparted is the regression for the Leave ordering
+// bug: the member row must only drop after every ownership stripe has been
+// re-pointed, so a racing OwnerOf can never resolve to a departed worker.
+// With the check removed, the halfway Leave below succeeds and the reader
+// goroutine observes partition owners that are no longer members.
+func TestOwnerOfNeverReturnsDeparted(t *testing.T) {
+	s := NewStore(Config{})
+	if err := s.Join(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Join(2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	const parts = 64
+	for p := uint64(0); p < parts; p++ {
+		if err := s.SetOwner(p, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop, left, violated atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			for p := uint64(0); p < parts; p++ {
+				w, err := s.OwnerOf(p)
+				if err == nil && w == 2 && left.Load() {
+					violated.Store(true)
+					return
+				}
+			}
+		}
+	}()
+
+	// Re-point half the stripes; Leave must still refuse.
+	for p := uint64(0); p < parts; p += 2 {
+		if err := s.SetOwner(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Leave(2); err == nil {
+		t.Fatal("Leave must fail while worker 2 still owns partitions")
+	}
+	for p := uint64(1); p < parts; p += 2 {
+		if err := s.SetOwner(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	left.Store(true)
+	// Give the reader a few full sweeps after the departure.
+	for i := 0; i < 4; i++ {
+		for p := uint64(0); p < parts; p++ {
+			if w, err := s.OwnerOf(p); err != nil || w != 1 {
+				t.Fatalf("partition %d: owner %d err %v after leave", p, w, err)
+			}
+		}
+	}
+	stop.Store(true)
+	<-done
+	if violated.Load() {
+		t.Fatal("OwnerOf returned a departed worker")
+	}
+}
+
+func TestMigrationRegistry(t *testing.T) {
+	s := NewStore(Config{Finder: FinderApproximate})
+	s.Join(1, "a")
+	s.Join(2, "b")
+	s.SetOwner(3, 1)
+	s.SetOwner(4, 1)
+	s.ReportVersion(1, 5, nil)
+	s.ReportVersion(2, 4, nil)
+
+	if _, err := s.BeginMigrate(nil, 1, 2); err == nil {
+		t.Fatal("empty migration must be rejected")
+	}
+	if _, err := s.BeginMigrate([]uint64{3}, 9, 2); err == nil {
+		t.Fatal("unknown source must be rejected")
+	}
+	if _, err := s.BeginMigrate([]uint64{3}, 2, 1); err == nil {
+		t.Fatal("migrating a partition the source does not own must be rejected")
+	}
+
+	id, err := s.BeginMigrate([]uint64{3, 4}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migs, err := s.Migrations()
+	if err != nil || len(migs) != 1 {
+		t.Fatalf("migrations: %v %v", migs, err)
+	}
+	m := migs[0]
+	if m.ID != id || m.From != 1 || m.To != 2 || len(m.Partitions) != 2 {
+		t.Fatalf("migration record: %+v", m)
+	}
+	if m.WorldLine != 0 || m.Cut.Get(1) != 4 {
+		t.Fatalf("migration must carry the (world-line, cut) it was begun on: %+v", m)
+	}
+
+	if err := s.CompleteMigrate(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteMigrate(id); err == nil {
+		t.Fatal("double completion must fail")
+	}
+	if migs, _ := s.Migrations(); len(migs) != 0 {
+		t.Fatalf("registry must be empty: %v", migs)
+	}
+
+	id2, err := s.BeginMigrate([]uint64{3}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := s.AbortMigrate(id2); err != nil || !removed {
+		t.Fatalf("first abort must remove the record: removed=%v err=%v", removed, err)
+	}
+	if removed, err := s.AbortMigrate(id2); err != nil || removed {
+		t.Fatalf("abort is idempotent cleanup; second call: removed=%v err=%v", removed, err)
+	}
+	if err := s.CompleteMigrate(id2); err == nil {
+		t.Fatal("aborted migration must not complete")
+	}
+}
+
+// TestRecoveryInvalidatesMigrations: a world-line bump drops in-flight
+// migrations — their boundary was taken on the old world-line and the
+// rollback may have erased streamed state. The coordinator discovers this
+// when CompleteMigrate fails.
+func TestRecoveryInvalidatesMigrations(t *testing.T) {
+	s := NewStore(Config{Finder: FinderApproximate})
+	s.Join(1, "a")
+	s.Join(2, "b")
+	s.SetOwner(3, 1)
+	id, err := s.BeginMigrate([]uint64{3}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BeginRecovery()
+	if migs, _ := s.Migrations(); len(migs) != 0 {
+		t.Fatalf("recovery must clear in-flight migrations: %v", migs)
+	}
+	if err := s.CompleteMigrate(id); err == nil {
+		t.Fatal("migration begun before recovery must not complete after it")
+	}
+}

@@ -143,6 +143,7 @@ type stateView struct {
 	cut    core.Cut // effective cut (the frozen cut while frozen); never mutated after publish
 	vmax   core.Version
 	frozen bool
+	migs   []Migration // in-flight migrations; never mutated after publish
 }
 
 // Store is the in-process metadata service.
@@ -162,6 +163,11 @@ type Store struct {
 	recovered map[core.WorldLine]core.Cut
 	// acked maps each worker to the newest world-line it confirmed.
 	acked map[core.WorkerID]core.WorldLine
+	// migrations holds the in-flight partition handovers (see elastic.go);
+	// migSeq hands out their ids. Cleared by BeginRecovery: a migration's
+	// boundary belongs to the world-line it was taken on.
+	migrations map[uint64]Migration
+	migSeq     uint64
 
 	// gen counts cut-affecting mutations (bumped under stateMu); state is
 	// the latest published view. Readers that observe view.gen == gen are
@@ -260,16 +266,37 @@ func (s *Store) DebugState() obs.DPRState {
 		}
 		cutJSON[strconv.FormatUint(uint64(w), 10)] = uint64(ver)
 	}
+	owners := make(map[string]uint64)
+	for i := range s.owners {
+		st := &s.owners[i]
+		st.mu.Lock()
+		for p, w := range st.m {
+			owners[strconv.FormatUint(p, 10)] = uint64(w)
+		}
+		st.mu.Unlock()
+	}
+	var migs []obs.MigrationState
+	for _, m := range v.migs {
+		migs = append(migs, obs.MigrationState{
+			ID:         m.ID,
+			From:       uint64(m.From),
+			To:         uint64(m.To),
+			Partitions: append([]uint64(nil), m.Partitions...),
+			WorldLine:  uint64(m.WorldLine),
+		})
+	}
 	return obs.DPRState{
-		Kind:      "finder",
-		WorldLine: uint64(v.wl),
-		CutMax:    uint64(max),
-		Cut:       cutJSON,
-		Vmax:      uint64(v.vmax),
-		Frozen:    v.frozen,
-		Members:   members,
-		Rollbacks: s.recoveriesC.Value(),
-		Trace:     s.trace.Snapshot(),
+		Kind:       "finder",
+		WorldLine:  uint64(v.wl),
+		CutMax:     uint64(max),
+		Cut:        cutJSON,
+		Vmax:       uint64(v.vmax),
+		Frozen:     v.frozen,
+		Members:    members,
+		Owners:     owners,
+		Migrations: migs,
+		Rollbacks:  s.recoveriesC.Value(),
+		Trace:      s.trace.Snapshot(),
 	}
 }
 
@@ -319,7 +346,14 @@ func (s *Store) publishLocked() *stateView {
 	if s.frozen {
 		cut = s.frozenCut.Clone()
 	}
-	v := &stateView{gen: gen, wl: s.worldLine, cut: cut, vmax: s.finder.MaxVersion(), frozen: s.frozen}
+	var migs []Migration
+	if len(s.migrations) > 0 {
+		migs = make([]Migration, 0, len(s.migrations))
+		for _, m := range s.migrations {
+			migs = append(migs, m)
+		}
+	}
+	v := &stateView{gen: gen, wl: s.worldLine, cut: cut, vmax: s.finder.MaxVersion(), frozen: s.frozen, migs: migs}
 	s.state.Store(v)
 	return v
 }
@@ -342,9 +376,18 @@ func (s *Store) RegisterWorker(w core.WorkerID, addr string) error {
 	return nil
 }
 
-// DeregisterWorker implements Service.
+// DeregisterWorker implements Service. A worker may only leave once every
+// ownership stripe has been re-pointed: dropping the member row first would
+// let a racing OwnerOf resolve a partition to a worker that no longer
+// exists, and the session would route a batch into the void. The check and
+// the member-row drop are not one atomic step, but ownership moves only
+// toward live members (SetOwner during migration), so once the stripes are
+// clear of w they stay clear.
 func (s *Store) DeregisterWorker(w core.WorkerID) error {
 	s.simulateLatency()
+	if p, owned := s.ownedPartition(w); owned {
+		return fmt.Errorf("metadata: worker %d still owns partition %d; migrate ownership before leaving", w, p)
+	}
 	st := s.memberStripe(w)
 	st.mu.Lock()
 	if _, ok := st.m[w]; ok {
@@ -499,6 +542,11 @@ func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
 	}
 	s.worldLine++
 	s.recovered[s.worldLine] = s.frozenCut.Clone()
+	// In-flight migrations were cut on the previous world-line; the rollback
+	// may erase part of their streamed state, so they cannot complete.
+	// Dropping them here makes CompleteMigrate fail and the coordinator
+	// abort (the donor keeps ownership — SetOwner never flipped).
+	clear(s.migrations)
 	s.gen.Add(1)
 	s.publishLocked()
 	s.persist()

@@ -63,7 +63,20 @@ func TestMembersAndOwnership(t *testing.T) {
 	if err != nil || w != 2 {
 		t.Fatalf("owner %d %v", w, err)
 	}
-	s.DeregisterWorker(2)
+	// A worker that still owns a partition must be refused: a racing
+	// OwnerOf would otherwise resolve to a departed worker.
+	if err := s.DeregisterWorker(2); err == nil {
+		t.Fatal("deregister must fail while worker 2 owns partition 5")
+	}
+	if m, _ = s.Members(); len(m) != 2 {
+		t.Fatalf("refused deregister must keep the member row: %v", m)
+	}
+	if err := s.SetOwner(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeregisterWorker(2); err != nil {
+		t.Fatal(err)
+	}
 	m, _ = s.Members()
 	if len(m) != 1 {
 		t.Fatalf("members after deregister: %v", m)

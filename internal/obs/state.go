@@ -28,6 +28,11 @@ type DPRState struct {
 	Frozen bool `json:"frozen,omitempty"`
 	// Members is the membership table (finder only).
 	Members map[string]string `json:"members,omitempty"`
+	// Owners is the ownership table, partition (decimal) → worker id
+	// (finder only).
+	Owners map[string]uint64 `json:"owners,omitempty"`
+	// Migrations lists the in-flight partition handovers (finder only).
+	Migrations []MigrationState `json:"migrations,omitempty"`
 
 	Sessions        int    `json:"sessions,omitempty"`
 	OwnedPartitions int    `json:"owned_partitions,omitempty"`
@@ -41,4 +46,13 @@ type DPRState struct {
 	RefreshAgeSeconds float64 `json:"refresh_age_seconds,omitempty"`
 
 	Trace []Event `json:"trace,omitempty"`
+}
+
+// MigrationState is one in-flight migration in the finder's /debug/dpr view.
+type MigrationState struct {
+	ID         uint64   `json:"id"`
+	From       uint64   `json:"from"`
+	To         uint64   `json:"to"`
+	Partitions []uint64 `json:"partitions"`
+	WorldLine  uint64   `json:"world_line"`
 }

@@ -90,6 +90,7 @@ func FuzzDecodeBatchReply(f *testing.F) {
 
 func FuzzDecodeError(f *testing.F) {
 	f.Add(EncodeError(&ErrorReply{Code: ErrCodeRejected, WorldLine: 3, Message: "recover"}))
+	f.Add(EncodeError(&ErrorReply{Code: ErrCodeMoved, WorldLine: 2, NewOwner: 4, Message: "partition moved"}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 16))
 	f.Fuzz(func(t *testing.T, payload []byte) {

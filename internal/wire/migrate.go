@@ -1,0 +1,184 @@
+// Migration frames: the donor→target stream that moves a set of virtual
+// partitions between workers (internal/migration). A migration stream is
+//
+//	MigrateBegin (id, world-line, donor, target, boundary, partitions)
+//	MigrateRecords*  (kv records at versions ≤ boundary, newest per key)
+//	MigrateCommit (id, total record count)
+//	← MigrateAck (status, target world-line, target import version)
+//
+// The stream follows the same discipline as the batch path: Append* into a
+// caller-owned scratch buffer, Decode*Into aliasing the frame payload, and
+// package-level sentinel errors on the reject paths. Migration frames are
+// off the steady-state serve path (they only flow while a handover is in
+// progress), so they are not //dpr:noalloc — but record decode still reuses
+// the caller's slice so a multi-megabyte stream does not churn the heap.
+package wire
+
+import "dpr/internal/core"
+
+// Migration frame tags (continuing the Frame* space).
+const (
+	FrameMigrateBegin   byte = 4
+	FrameMigrateRecords byte = 5
+	FrameMigrateCommit  byte = 6
+	FrameMigrateAck     byte = 7
+)
+
+// Migration ack statuses.
+const (
+	MigrateAckOK       byte = 0
+	MigrateAckRejected byte = 1
+)
+
+// MigrateBegin opens a migration stream on a worker connection. Boundary is
+// the donor's migration-cut position: every streamed record has version ≤
+// Boundary, and the donor guarantees Boundary is persisted (and hence
+// eligible for the DPR cut) before streaming. WorldLine pins the stream to
+// the world-line the boundary was taken on; the target rejects the stream if
+// its own world-line differs, because a rollback in between may have erased
+// part of the stream's state.
+type MigrateBegin struct {
+	ID         uint64
+	WorldLine  core.WorldLine
+	From       core.WorkerID
+	To         core.WorkerID
+	Boundary   core.Version
+	Partitions []uint64
+}
+
+// MigRecord is one key/value pair in a migration stream. Key and Val alias
+// the frame payload on decode.
+type MigRecord struct {
+	Key     []byte
+	Val     []byte
+	Version core.Version // donor-side version (≤ boundary); informational at the target
+}
+
+// MigrateAck closes a migration stream. Version is the target-side version
+// the imported records were written at: the donor must not complete the
+// migration until the target's DPR cut covers it.
+type MigrateAck struct {
+	Status    byte
+	WorldLine core.WorldLine
+	Version   core.Version
+	Message   string
+}
+
+// AppendMigrateBegin appends the begin-frame encoding to dst.
+func AppendMigrateBegin(dst []byte, m *MigrateBegin) []byte {
+	dst = appendU64(dst, m.ID)
+	dst = appendU64(dst, uint64(m.WorldLine))
+	dst = appendU32(dst, uint32(m.From))
+	dst = appendU32(dst, uint32(m.To))
+	dst = appendU64(dst, uint64(m.Boundary))
+	dst = appendU32(dst, uint32(len(m.Partitions)))
+	for _, p := range m.Partitions {
+		dst = appendU64(dst, p)
+	}
+	return dst
+}
+
+// DecodeMigrateBegin parses a begin-frame payload.
+func DecodeMigrateBegin(p []byte) (*MigrateBegin, error) {
+	d := &decoder{buf: p}
+	var m MigrateBegin
+	m.ID = d.u64()
+	m.WorldLine = core.WorldLine(d.u64())
+	m.From = core.WorkerID(d.u32())
+	m.To = core.WorkerID(d.u32())
+	m.Boundary = core.Version(d.u64())
+	n := int(d.u32())
+	if d.err == nil && n > len(p) { // each partition entry needs 8 bytes
+		return nil, errPartCount
+	}
+	if d.err == nil && n > 0 {
+		m.Partitions = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			m.Partitions[i] = d.u64()
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// AppendMigrateRecords appends a records-frame encoding to dst.
+func AppendMigrateRecords(dst []byte, recs []MigRecord) []byte {
+	dst = appendU32(dst, uint32(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		dst = appendU64(dst, uint64(r.Version))
+		dst = appendBytes(dst, r.Key)
+		dst = appendBytes(dst, r.Val)
+	}
+	return dst
+}
+
+// DecodeMigrateRecordsInto parses a records-frame payload, reusing recs.
+// Keys and values alias p (zero copy): the caller must consume (copy into
+// the store) every record before the frame buffer is reused.
+func DecodeMigrateRecordsInto(recs []MigRecord, p []byte) ([]MigRecord, error) {
+	d := &decoder{buf: p}
+	n := int(d.u32())
+	recs = recs[:0]
+	if d.err == nil && n > len(p) { // each record needs ≥16 bytes
+		return recs, errRecordCount
+	}
+	if d.err == nil && n > 0 {
+		if cap(recs) < n {
+			recs = make([]MigRecord, n)
+		}
+		recs = recs[:n]
+		for i := 0; i < n; i++ {
+			recs[i].Version = core.Version(d.u64())
+			recs[i].Key = d.bytes()
+			recs[i].Val = d.bytes()
+		}
+	}
+	if err := d.finish(); err != nil {
+		return recs[:0], err
+	}
+	return recs, nil
+}
+
+// AppendMigrateCommit appends the commit-frame encoding to dst. Total is the
+// number of records streamed, so the target can detect a truncated stream.
+func AppendMigrateCommit(dst []byte, id, total uint64) []byte {
+	dst = appendU64(dst, id)
+	return appendU64(dst, total)
+}
+
+// DecodeMigrateCommit parses a commit-frame payload.
+func DecodeMigrateCommit(p []byte) (id, total uint64, err error) {
+	d := &decoder{buf: p}
+	id = d.u64()
+	total = d.u64()
+	if err := d.finish(); err != nil {
+		return 0, 0, err
+	}
+	return id, total, nil
+}
+
+// AppendMigrateAck appends the ack-frame encoding to dst.
+func AppendMigrateAck(dst []byte, a *MigrateAck) []byte {
+	dst = append(dst, a.Status)
+	dst = appendU64(dst, uint64(a.WorldLine))
+	dst = appendU64(dst, uint64(a.Version))
+	dst = appendU32(dst, uint32(len(a.Message)))
+	return append(dst, a.Message...)
+}
+
+// DecodeMigrateAck parses an ack-frame payload.
+func DecodeMigrateAck(p []byte) (*MigrateAck, error) {
+	d := &decoder{buf: p}
+	var a MigrateAck
+	a.Status = d.u8()
+	a.WorldLine = core.WorldLine(d.u64())
+	a.Version = core.Version(d.u64())
+	a.Message = string(d.bytes())
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMigrateBeginRoundTrip(t *testing.T) {
+	m := &MigrateBegin{ID: 7, WorldLine: 2, From: 1, To: 4, Boundary: 99,
+		Partitions: []uint64{3, 11, 27}}
+	got, err := DecodeMigrateBegin(AppendMigrateBegin(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("%+v != %+v", got, m)
+	}
+}
+
+func TestMigrateRecordsRoundTrip(t *testing.T) {
+	recs := []MigRecord{
+		{Key: []byte("a"), Val: []byte("v1"), Version: 3},
+		{Key: []byte("bb"), Val: []byte{}, Version: 9},
+	}
+	var scratch []MigRecord
+	got, err := DecodeMigrateRecordsInto(scratch, AppendMigrateRecords(nil, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if string(got[i].Key) != string(recs[i].Key) ||
+			string(got[i].Val) != string(recs[i].Val) ||
+			got[i].Version != recs[i].Version {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestMigrateCommitAckRoundTrip(t *testing.T) {
+	id, total, err := DecodeMigrateCommit(AppendMigrateCommit(nil, 7, 1234))
+	if err != nil || id != 7 || total != 1234 {
+		t.Fatalf("commit round trip: id=%d total=%d err=%v", id, total, err)
+	}
+	a := &MigrateAck{Status: MigrateAckOK, WorldLine: 3, Version: 88, Message: "ok"}
+	got, err := DecodeMigrateAck(AppendMigrateAck(nil, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("%+v != %+v", got, a)
+	}
+}
+
+func TestMigrateFramesRejectTruncation(t *testing.T) {
+	full := AppendMigrateBegin(nil, &MigrateBegin{ID: 1, WorldLine: 1, From: 1, To: 2,
+		Boundary: 5, Partitions: []uint64{0, 1}})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeMigrateBegin(full[:cut]); err == nil {
+			t.Fatalf("begin truncation at %d not detected", cut)
+		}
+	}
+	rfull := AppendMigrateRecords(nil, []MigRecord{{Key: []byte("k"), Val: []byte("v"), Version: 1}})
+	for cut := 0; cut < len(rfull); cut++ {
+		if _, err := DecodeMigrateRecordsInto(nil, rfull[:cut]); err == nil {
+			t.Fatalf("records truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeMigrateCommit([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short commit frame not detected")
+	}
+	if _, err := DecodeMigrateAck([]byte{0}); err == nil {
+		t.Fatal("short ack frame not detected")
+	}
+}

@@ -65,6 +65,7 @@ const (
 	ErrCodeInternal  byte = 3
 	ErrCodeRetryable byte = 4
 	ErrCodeStale     byte = 5 // batch seq range superseded within its session
+	ErrCodeMoved     byte = 6 // partition migrated away; ErrorReply.NewOwner is the new owner
 )
 
 // MaxFrameSize bounds a single frame (16 MiB).
@@ -105,10 +106,13 @@ type BatchReply struct {
 	EncodedCut []byte
 }
 
-// ErrorReply is a worker→client error frame.
+// ErrorReply is a worker→client error frame. NewOwner is meaningful only for
+// ErrCodeMoved: the worker that now owns the batch's partition, so the client
+// can re-route a redirected batch without a metadata round trip.
 type ErrorReply struct {
 	Code      byte
 	WorldLine core.WorldLine
+	NewOwner  core.WorkerID
 	Message   string
 }
 
@@ -171,6 +175,7 @@ func (d *decoder) bytes() []byte {
 	d.off += n
 	return v
 }
+
 // Decode errors are package-level sentinels: the decoders are //dpr:noalloc
 // and an inline errors.New would heap-allocate per malformed frame on an
 // attacker-controlled reject path.
@@ -179,6 +184,8 @@ var (
 	errOpCount        = errors.New("wire: op count exceeds frame")
 	errResultCount    = errors.New("wire: result count exceeds frame")
 	errCutCount       = errors.New("wire: cut entry count exceeds frame")
+	errPartCount      = errors.New("wire: partition count exceeds frame")
+	errRecordCount    = errors.New("wire: record count exceeds frame")
 )
 
 func (d *decoder) fail() {
@@ -337,6 +344,11 @@ func AppendBatchRequest(dst []byte, b *BatchRequest) []byte {
 	dst = appendU32(dst, h.NumOps)
 	dst = appendU32(dst, uint32(h.Dep.Worker))
 	dst = appendU64(dst, uint64(h.Dep.Version))
+	var flags byte
+	if h.Redirected {
+		flags |= 1
+	}
+	dst = append(dst, flags)
 	dst = appendU32(dst, uint32(len(b.Ops)))
 	for i := range b.Ops {
 		op := &b.Ops[i]
@@ -366,6 +378,7 @@ func DecodeBatchRequestInto(b *BatchRequest, p []byte) error {
 	b.Header.NumOps = d.u32()
 	b.Header.Dep.Worker = core.WorkerID(d.u32())
 	b.Header.Dep.Version = core.Version(d.u64())
+	b.Header.Redirected = d.u8()&1 != 0
 	n := int(d.u32())
 	b.Ops = b.Ops[:0]
 	if d.err == nil && n > 0 {
@@ -526,6 +539,7 @@ func DecodeBatchReply(p []byte) (*BatchReply, error) {
 func AppendError(dst []byte, e *ErrorReply) []byte {
 	dst = append(dst, e.Code)
 	dst = appendU64(dst, uint64(e.WorldLine))
+	dst = appendU32(dst, uint32(e.NewOwner))
 	dst = appendU32(dst, uint32(len(e.Message)))
 	return append(dst, e.Message...)
 }
@@ -541,6 +555,7 @@ func DecodeError(p []byte) (*ErrorReply, error) {
 	var e ErrorReply
 	e.Code = d.u8()
 	e.WorldLine = core.WorldLine(d.u64())
+	e.NewOwner = core.WorkerID(d.u32())
 	e.Message = string(d.bytes())
 	if err := d.finish(); err != nil {
 		return nil, err
