@@ -12,7 +12,9 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own static-analysis suite: atomic/mutex discipline,
-# //dpr:noalloc escape gating, cut/world-line tagging, decoder bounds.
+# //dpr:noalloc escape gating, cut/world-line tagging, decoder bounds, plus
+# the whole-program checkers — epoch discipline, global lock ordering,
+# goroutine lifecycle, migration protocol.
 dpr-vet:
 	$(GO) run ./cmd/dpr-vet ./...
 

@@ -1,8 +1,10 @@
 // Command dpr-vet runs the DPR static-analysis suite (internal/analysis)
-// over the module: atomic access discipline, mutex release/ordering,
-// //dpr:noalloc hot-path escape gating, cut/world-line pairing, and alias
-// decoder bounds checks. It exits non-zero when any diagnostic survives the
-// //dpr:ignore suppressions, so it can gate CI exactly like the compiler.
+// over the module: atomic access discipline, per-function and whole-program
+// mutex ordering, //dpr:noalloc hot-path escape gating, cut/world-line
+// pairing, alias decoder bounds checks, epoch-protection discipline,
+// goroutine lifecycle, and the migration protocol. It exits non-zero when
+// any diagnostic survives the //dpr:ignore suppressions, so it can gate CI
+// exactly like the compiler.
 //
 // Usage:
 //
@@ -10,9 +12,11 @@
 //	go run ./cmd/dpr-vet ./internal/wire  # restrict reporting to a subtree
 //	go run ./cmd/dpr-vet -checks mutex-discipline,decode-bounds ./...
 //	go run ./cmd/dpr-vet -tests ./...     # include in-package _test.go files
+//	go run ./cmd/dpr-vet -json ./...      # machine-readable diagnostics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +26,21 @@ import (
 	"dpr/internal/analysis"
 )
 
+// jsonDiag is the -json wire shape, one object per diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 func main() {
 	var (
 		checksFlag = flag.String("checks", "", "comma-separated checker names to run (default: all)")
 		tests      = flag.Bool("tests", false, "also analyze in-package _test.go files")
 		list       = flag.Bool("list", false, "list checker names and exit")
+		jsonOut    = flag.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	)
 	flag.Parse()
 
@@ -90,8 +104,27 @@ func main() {
 		}
 		diags = kept
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "dpr-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dpr-vet: %d diagnostic(s)\n", len(diags))

@@ -53,11 +53,24 @@ type Package struct {
 // Unit is the whole loaded module: every package, sharing one FileSet and
 // one type-object world, so a field object seen in package A is identical to
 // the same field seen from package B.
+//
+// The unit also owns the whole-program artifacts the checkers share — the
+// declared-function index, the call graph, and the held-lock summaries — so
+// one parse+type-check pass feeds every checker instead of each checker
+// re-deriving its own view of the module.
 type Unit struct {
 	Fset       *token.FileSet
 	ModulePath string
 	ModuleDir  string
 	Packages   []*Package // dependency order (imports before importers)
+
+	cache struct {
+		funcs        []funcSpan
+		funcsBuilt   bool
+		graph        *callGraph
+		summaries    *lockSummaries
+		drainCoupled map[string]token.Pos
+	}
 }
 
 // Position resolves a token.Pos against the unit's FileSet.
@@ -80,6 +93,10 @@ func DefaultCheckers() []Checker {
 		&NoAllocChecker{},
 		&CutWorldLineChecker{},
 		&DecodeBoundsChecker{},
+		&EpochChecker{},
+		&LockOrderGlobalChecker{},
+		&GoroutineChecker{},
+		&MigrationProtocolChecker{},
 	}
 }
 
@@ -185,8 +202,13 @@ type funcSpan struct {
 	endLine   int
 }
 
-// declaredFuncs lists every FuncDecl with a body across the unit.
+// declaredFuncs lists every FuncDecl with a body across the unit. The list
+// is built once and cached on the unit: every checker iterates it, and the
+// call graph indexes into it.
 func declaredFuncs(u *Unit) []funcSpan {
+	if u.cache.funcsBuilt {
+		return u.cache.funcs
+	}
 	var out []funcSpan
 	u.EachFile(func(p *Package, f *ast.File) {
 		for _, d := range f.Decls {
@@ -206,6 +228,8 @@ func declaredFuncs(u *Unit) []funcSpan {
 			})
 		}
 	})
+	u.cache.funcs = out
+	u.cache.funcsBuilt = true
 	return out
 }
 

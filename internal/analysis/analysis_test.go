@@ -143,6 +143,10 @@ func TestCheckerFixtures(t *testing.T) {
 		{"hotpath-noalloc", "noallocbad", "noallocok"},
 		{"cut-worldline", "cutwlbad", "cutwlok"},
 		{"decode-bounds", "boundsbad", "boundsok"},
+		{"epoch-discipline", "epochbad", "epochok"},
+		{"lock-order-global", "lockglobalbad", "lockglobalok"},
+		{"goroutine-lifecycle", "golifebad", "golifeok"},
+		{"migration-protocol", "migbad", "migok"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {
@@ -208,6 +212,8 @@ func TestFixtureCleanPackagesSilent(t *testing.T) {
 	failing := map[string]bool{
 		"atomicbad": true, "mutexbad": true, "noallocbad": true,
 		"cutwlbad": true, "boundsbad": true, "ignorebad": true,
+		"epochbad": true, "lockglobalbad": true, "golifebad": true,
+		"migbad": true,
 	}
 	for _, d := range diags {
 		if base := filepath.Base(filepath.Dir(d.Pos.Filename)); !failing[base] {

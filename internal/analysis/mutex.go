@@ -125,6 +125,7 @@ func parseLockOrder(u *Unit) (*lockOrder, []Diagnostic) {
 type lockOp struct {
 	instance string // per-function instance key, e.g. "w.cutMu"
 	typeKey  string // module-wide key, e.g. "libdpr.Worker.cutMu"
+	keyed    bool   // typeKey is owner-qualified (field or package-level lock)
 	acquire  bool
 	shared   bool // RLock/RUnlock
 }
@@ -163,37 +164,40 @@ func classifyLockCall(pkg *Package, call *ast.CallExpr) (lockOp, bool) {
 		return lockOp{}, false
 	}
 	op.instance = exprString(sel.X)
-	op.typeKey = lockTypeKey(pkg, sel.X)
+	op.typeKey, op.keyed = lockTypeKey(pkg, sel.X)
 	return op, true
 }
 
 // lockTypeKey renders the mutex expression as a module-wide lock name:
 // "pkg.Type.field" for field locks, "pkg.name" for package-level locks, and
-// the local name for everything else.
-func lockTypeKey(pkg *Package, x ast.Expr) string {
+// the local name for everything else. keyed reports whether the name is
+// owner-qualified — only keyed locks participate in the whole-program
+// nesting graph; anonymous locals (stripe locks pulled out of an index)
+// have no module-wide identity.
+func lockTypeKey(pkg *Package, x ast.Expr) (key string, keyed bool) {
 	switch e := x.(type) {
 	case *ast.SelectorExpr:
 		ownerT := pkg.Info.TypeOf(e.X)
 		if n := namedType(ownerT); n != nil && n.Obj().Pkg() != nil {
-			return pkgShortName(n.Obj().Pkg()) + "." + n.Obj().Name() + "." + e.Sel.Name
+			return pkgShortName(n.Obj().Pkg()) + "." + n.Obj().Name() + "." + e.Sel.Name, true
 		}
-		return exprString(x)
+		return exprString(x), false
 	case *ast.Ident:
 		if obj := pkg.Info.Uses[e]; obj != nil {
 			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
 				if v.Parent() == v.Pkg().Scope() { // package-level mutex
-					return pkgShortName(v.Pkg()) + "." + v.Name()
+					return pkgShortName(v.Pkg()) + "." + v.Name(), true
 				}
 				// A local whose type names the lock owner (method receivers
 				// do not appear here; fields always go through selectors).
 				if n := namedType(v.Type()); n != nil && n.Obj().Pkg() != nil {
-					return pkgShortName(n.Obj().Pkg()) + "." + n.Obj().Name()
+					return pkgShortName(n.Obj().Pkg()) + "." + n.Obj().Name(), false
 				}
 			}
 		}
-		return e.Name
+		return e.Name, false
 	default:
-		return exprString(x)
+		return exprString(x), false
 	}
 }
 
@@ -270,6 +274,67 @@ type lockFlow struct {
 	check string
 	order *lockOrder
 	diags []Diagnostic
+	// onCall, when set, observes every call expression reached by the
+	// interpreter together with the abstract lock state in force just before
+	// the call. The whole-program pass (lock summaries) uses it to record
+	// held-at-call and held-at-acquire sets; the mutex checker leaves it nil.
+	onCall func(call *ast.CallExpr, st *lockState)
+}
+
+// noteEmbedded feeds the onCall hook the call expressions embedded in a
+// statement (conditions, assignments, returns) with the current state.
+// Function-literal subtrees are skipped: they run on their own activation.
+func (a *lockFlow) noteEmbedded(s ast.Stmt, st *lockState) {
+	if a.onCall == nil {
+		return
+	}
+	var roots []ast.Node
+	add := func(e ast.Expr) {
+		if e != nil {
+			roots = append(roots, e)
+		}
+	}
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		add(n.X)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			add(e)
+		}
+		for _, e := range n.Lhs {
+			add(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			add(e)
+		}
+	case *ast.SendStmt:
+		add(n.Chan)
+		add(n.Value)
+	case *ast.IncDecStmt:
+		add(n.X)
+	case *ast.DeclStmt:
+		roots = append(roots, n)
+	case *ast.IfStmt:
+		add(n.Cond)
+	case *ast.ForStmt:
+		add(n.Cond)
+	case *ast.SwitchStmt:
+		add(n.Tag)
+	case *ast.RangeStmt:
+		add(n.X)
+	}
+	for _, root := range roots {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				a.onCall(call, st)
+			}
+			return true
+		})
+	}
 }
 
 func (a *lockFlow) analyzeFunc(body *ast.BlockStmt) []Diagnostic {
@@ -327,6 +392,7 @@ func (a *lockFlow) block(list []ast.Stmt, st *lockState) {
 }
 
 func (a *lockFlow) stmt(s ast.Stmt, st *lockState) {
+	a.noteEmbedded(s, st)
 	switch n := s.(type) {
 	case *ast.ExprStmt:
 		if call, ok := n.X.(*ast.CallExpr); ok {

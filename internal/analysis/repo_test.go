@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // wireFuzzTargets maps each wire alias-decoder entry point to the fuzz
@@ -17,20 +18,34 @@ var wireFuzzTargets = []string{
 	"FuzzDecodeError",
 }
 
-// TestRepoTreeClean runs the same analysis CI gates on via
-// `go run ./cmd/dpr-vet ./...` over the enclosing module and fails on any
-// diagnostic, keeping `go test` sufficient to catch a violation locally. It
-// also pins the decode-bounds/fuzz pact: the wire decoder corpora must stay
-// populated, and any decode-bounds finding demands a new seed.
+// repoSuiteBudget bounds the full nine-checker run (load, type-check, call
+// graph, summaries, all checkers) over the module. The suite gates CI on
+// every push; if whole-program analysis cost creeps past this, the shared
+// Unit caching has regressed (each checker rebuilding the call graph or the
+// lock summaries instead of reusing them).
+const repoSuiteBudget = 60 * time.Second
+
+// TestRepoTreeClean runs the same analysis CI gates as
+// `go run ./cmd/dpr-vet ./...` over the enclosing module — the full suite,
+// whole-program checkers included — and fails on any diagnostic, keeping
+// `go test` sufficient to catch a violation locally. It also pins the
+// decode-bounds/fuzz pact (the wire decoder corpora must stay populated, and
+// any decode-bounds finding demands a new seed) and the suite's runtime
+// budget.
 func TestRepoTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks and compiles the whole module")
 	}
+	start := time.Now()
 	u, err := Load(LoadConfig{Dir: "."})
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	for _, d := range Run(u, DefaultCheckers()) {
+	diags := Run(u, DefaultCheckers())
+	if elapsed := time.Since(start); elapsed > repoSuiteBudget {
+		t.Errorf("full suite took %v, over the %v budget: a checker is likely rebuilding a shared artifact instead of using the Unit cache", elapsed, repoSuiteBudget)
+	}
+	for _, d := range diags {
 		t.Errorf("%s", d.String())
 		if d.Check == "decode-bounds" {
 			t.Errorf("decode-bounds fired: add a truncated-frame seed under internal/wire/testdata/fuzz/ reproducing the unguarded access, then guard or justify it")

@@ -1,0 +1,31 @@
+// Package epoch is a miniature stand-in for the repo's internal/epoch. The
+// epoch-discipline checker matches Slot and Table by name within any
+// package whose import path ends in "epoch", so the fixtures exercise the
+// real matching logic without importing the enclosing module.
+package epoch
+
+// Slot is one participant's epoch-protection handle.
+type Slot struct{ active uint64 }
+
+// Enter pins the current epoch.
+func (s *Slot) Enter() { s.active++ }
+
+// Exit releases the pin.
+func (s *Slot) Exit() { s.active-- }
+
+// Table owns the slots and can drain them.
+type Table struct{ slots []Slot }
+
+// Drain bumps the epoch and waits for every active slot to observe it.
+func (t *Table) Drain() {
+	for i := range t.slots {
+		_ = t.slots[i].active
+	}
+}
+
+// WaitObserved waits for every slot to observe the current epoch.
+func (t *Table) WaitObserved() {
+	for i := range t.slots {
+		_ = t.slots[i].active
+	}
+}

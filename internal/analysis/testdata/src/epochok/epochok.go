@@ -1,0 +1,83 @@
+// Package epochok follows the epoch-protection discipline: every Enter is
+// paired with an Exit on all paths (explicitly or via defer), blocking work
+// happens outside entered regions, and locks taken while entered are not
+// coupled to any drain.
+package epochok
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fixture/epoch"
+)
+
+// Paired releases via defer, covering the early return.
+func Paired(s *epoch.Slot, fail bool) error {
+	s.Enter()
+	defer s.Exit()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// ExplicitPaths exits explicitly on every path.
+func ExplicitPaths(s *epoch.Slot, fail bool) error {
+	s.Enter()
+	if fail {
+		s.Exit()
+		return errors.New("boom")
+	}
+	s.Exit()
+	return nil
+}
+
+// RetryLoop is the guarded-admission shape done right: the slot is released
+// before the backoff sleep and before leaving the function.
+func RetryLoop(s *epoch.Slot, ready func() bool) {
+	for {
+		s.Enter()
+		if ready() {
+			break
+		}
+		s.Exit()
+		time.Sleep(time.Microsecond)
+	}
+	s.Exit()
+}
+
+// DrainOutside drains only after the slot is released.
+func DrainOutside(s *epoch.Slot, t *epoch.Table) {
+	s.Enter()
+	s.Exit()
+	t.Drain()
+}
+
+// Counter's lock is never held across a drain, so taking it inside an
+// entered region cannot deadlock the table.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump takes the uncoupled lock while entered.
+func (c *Counter) Bump(s *epoch.Slot) {
+	s.Enter()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	s.Exit()
+}
+
+// SelectWithDefault polls without blocking while entered.
+func SelectWithDefault(s *epoch.Slot, ch chan int) int {
+	s.Enter()
+	defer s.Exit()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,53 @@
+// Package metadata (fixture golifebad) spawns goroutines with no stop path:
+// no joined WaitGroup, no closed done channel, and no owner Stop/Close that
+// would unblock them. The goroutine-lifecycle checker scopes to the server
+// package names, which is why this fixture declares one of them.
+package metadata
+
+import "net"
+
+// Server owns a listener but has no Stop/Close, so nothing ever unblocks
+// the accept loop.
+type Server struct {
+	ln net.Listener
+}
+
+// Start leaks an accept loop: the listener is never closed by any owner
+// method and the loop joins nothing.
+func (s *Server) Start() {
+	go func() { // want "go statement has no stop path reachable from an owner Stop/Close"
+		for {
+			conn, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn
+		}
+	}()
+}
+
+func tick(counter *int) {
+	for {
+		*counter++
+	}
+}
+
+// StartTicker leaks a free-running goroutine with no evidence of any kind.
+func StartTicker(counter *int) {
+	go tick(counter) // want "go statement has no stop path reachable from an owner Stop/Close"
+}
+
+// UnwaitedGroup calls Done on a WaitGroup nothing Waits on: joining a group
+// nobody joins is not a stop path.
+type UnwaitedGroup struct {
+	n int
+}
+
+// Run spawns a worker whose only "evidence" is a channel nothing closes.
+func (u *UnwaitedGroup) Run(ch chan int) {
+	go func() { // want "go statement has no stop path reachable from an owner Stop/Close"
+		for range ch {
+			u.n++
+		}
+	}()
+}

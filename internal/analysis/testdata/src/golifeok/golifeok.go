@@ -1,0 +1,106 @@
+// Package dredis (fixture golifeok) spawns goroutines the lifecycle checker
+// accepts: joined WaitGroups, receives on channels an owner closes, context
+// cancellation, and conn-reading loops whose owner's Close unblocks them.
+package dredis
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// Proxy demonstrates WaitGroup joins and a closed done channel.
+type Proxy struct {
+	ln   net.Listener
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start spawns the accept loop, joined via the WaitGroup.
+func (p *Proxy) Start() {
+	p.wg.Add(1)
+	go p.acceptLoop()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+func (p *Proxy) serve(conn net.Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+	}
+}
+
+// StartWatcher spawns a goroutine parked on the done channel Stop closes.
+func (p *Proxy) StartWatcher() {
+	go func() {
+		<-p.stop
+	}()
+}
+
+// Stop closes the done channel and the listener, then joins everything.
+func (p *Proxy) Stop() {
+	close(p.stop)
+	_ = p.ln.Close()
+	p.wg.Wait()
+}
+
+// Client demonstrates owner-closed-conn evidence: the read loop has no
+// WaitGroup and no channel, but Close unblocks its blocking Read.
+type Client struct {
+	conn net.Conn
+}
+
+// StartReader spawns the conn-bound read loop.
+func (c *Client) StartReader() {
+	go c.readLoop()
+}
+
+func (c *Client) readLoop() {
+	buf := make([]byte, 64)
+	for {
+		if _, err := c.conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// Close tears down the conn, erroring the read loop out.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}
+
+// Pump demonstrates context cancellation as a stop path.
+type Pump struct{ n int }
+
+// Run spawns a worker parked on ctx.Done().
+func (p *Pump) Run(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				p.n++
+			}
+		}
+	}()
+}

@@ -1,0 +1,101 @@
+// Package lockglobalbad exercises the whole-program lock-order checker:
+// nestings that only exist across function boundaries, where the
+// per-function mutex checker cannot see them.
+package lockglobalbad
+
+import "sync"
+
+//dpr:lockorder lockglobalbad.Outer.mu < lockglobalbad.Inner.mu
+
+// Outer is declared to come before Inner.
+type Outer struct{ mu sync.Mutex }
+
+// Inner is declared to come after Outer.
+type Inner struct{ mu sync.Mutex }
+
+// Pair holds both ordered locks.
+type Pair struct {
+	o Outer
+	i Inner
+}
+
+func (p *Pair) lockOuter() {
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
+}
+
+// Inverted holds Inner and calls a helper that acquires Outer: the declared
+// order says Outer < Inner, so this is an interprocedural inversion.
+func (p *Pair) Inverted() {
+	p.i.mu.Lock()
+	defer p.i.mu.Unlock()
+	p.lockOuter() // want "acquires lockglobalbad.Outer.mu .* while holding lockglobalbad.Inner.mu, violating"
+}
+
+//dpr:lockorder lockglobalbad.A.mu < lockglobalbad.B.mu
+//dpr:lockorder lockglobalbad.C.mu < lockglobalbad.B.mu
+
+// A and C are both in the declared graph but unrelated to each other.
+type A struct{ mu sync.Mutex }
+
+// B orders after both A and C.
+type B struct{ mu sync.Mutex }
+
+// C is declared, but no order relates it to A.
+type C struct{ mu sync.Mutex }
+
+// Trio nests A over C without a declaration covering the pair.
+type Trio struct {
+	a A
+	b B
+	c C
+}
+
+func (t *Trio) lockC() {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+}
+
+// Undeclared nests two declared-but-unrelated locks across a call.
+func (t *Trio) Undeclared() {
+	t.a.mu.Lock()
+	defer t.a.mu.Unlock()
+	t.lockC() // want "undeclared cross-function lock nesting: lockglobalbad.A.mu is held while the call to lockglobalbad.*lockC acquires lockglobalbad.C.mu"
+}
+
+// X and Y are not declared anywhere; nesting them both ways across calls is
+// the classic ABBA deadlock candidate.
+type X struct{ mu sync.Mutex }
+
+// Y is the other half of the ABBA pair.
+type Y struct{ mu sync.Mutex }
+
+// XY holds the undeclared pair.
+type XY struct {
+	x X
+	y Y
+}
+
+func (z *XY) lockY() {
+	z.y.mu.Lock()
+	defer z.y.mu.Unlock()
+}
+
+func (z *XY) lockX() {
+	z.x.mu.Lock()
+	defer z.x.mu.Unlock()
+}
+
+// AB acquires Y under X.
+func (z *XY) AB() {
+	z.x.mu.Lock()
+	defer z.x.mu.Unlock()
+	z.lockY() // want "lock-order cycle candidate"
+}
+
+// BA acquires X under Y.
+func (z *XY) BA() {
+	z.y.mu.Lock()
+	defer z.y.mu.Unlock()
+	z.lockX()
+}

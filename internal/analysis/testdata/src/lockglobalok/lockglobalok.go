@@ -1,0 +1,64 @@
+// Package lockglobalok nests locks across function boundaries in ways the
+// whole-program checker accepts: declared-order nestings, anonymous stripe
+// locks with no module-wide identity, and go-spawned acquisitions that are
+// not the spawner's synchronous behavior.
+package lockglobalok
+
+import "sync"
+
+//dpr:lockorder lockglobalok.Outer.mu < lockglobalok.Inner.mu
+
+// Outer is declared to come before Inner.
+type Outer struct{ mu sync.Mutex }
+
+// Inner is declared to come after Outer.
+type Inner struct{ mu sync.Mutex }
+
+// Pair holds both ordered locks.
+type Pair struct {
+	o Outer
+	i Inner
+}
+
+func (p *Pair) lockInner() {
+	p.i.mu.Lock()
+	defer p.i.mu.Unlock()
+}
+
+// Ordered nests Inner under Outer across a call — exactly the declared
+// order, so it is fine.
+func (p *Pair) Ordered() {
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
+	p.lockInner()
+}
+
+// SpawnInner acquires Inner only inside a spawned goroutine: the acquisition
+// does not run on SpawnInner's stack, so holding Outer here is not a
+// nesting.
+func (p *Pair) SpawnInner(done *sync.WaitGroup) {
+	p.o.mu.Lock()
+	defer p.o.mu.Unlock()
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		p.i.mu.Lock()
+		p.i.mu.Unlock()
+	}()
+}
+
+// stripes are anonymous locks: instances have no module-wide identity, so
+// nesting two of them (hand-over-hand) is not an orderable class.
+func handOverHand(a, b *sync.Mutex) {
+	a.Lock()
+	defer a.Unlock()
+	b.Lock()
+	defer b.Unlock()
+}
+
+// Walk nests anonymous stripe locks through a helper.
+func Walk(stripes []sync.Mutex) {
+	for i := 0; i+1 < len(stripes); i++ {
+		handOverHand(&stripes[i], &stripes[i+1])
+	}
+}

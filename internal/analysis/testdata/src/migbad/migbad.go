@@ -1,0 +1,62 @@
+// Package migbad leaves migrations unresolved: BeginMigrate calls with
+// control-flow paths that return without a CompleteMigrate or AbortMigrate.
+package migbad
+
+import "errors"
+
+// Meta is a miniature migration metadata service; the checker matches the
+// protocol calls by name.
+type Meta struct{ pending map[uint64]bool }
+
+// BeginMigrate installs a migration record.
+func (m *Meta) BeginMigrate(parts []uint64, from, to uint64) (uint64, error) {
+	m.pending[1] = true
+	return 1, nil
+}
+
+// CompleteMigrate retires a record.
+func (m *Meta) CompleteMigrate(id uint64) error {
+	delete(m.pending, id)
+	return nil
+}
+
+// AbortMigrate removes a record.
+func (m *Meta) AbortMigrate(id uint64) (bool, error) {
+	delete(m.pending, id)
+	return false, nil
+}
+
+// LeakOnValidate resolves the happy and Begin-failure paths but returns the
+// validation failure with the record still pending.
+func LeakOnValidate(m *Meta, parts []uint64, ok bool) error {
+	id, err := m.BeginMigrate(parts, 1, 2)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("validation failed") // want "BeginMigrate at .* is not resolved on this path"
+	}
+	return m.CompleteMigrate(id)
+}
+
+func launder(err error) error { return err }
+
+// ReassignedGuard overwrites the Begin error before branching on it, so the
+// branch no longer proves the Begin failed.
+func ReassignedGuard(m *Meta, parts []uint64) error {
+	id, err := m.BeginMigrate(parts, 1, 2)
+	err = launder(err)
+	if err != nil {
+		return err // want "BeginMigrate at .* is not resolved on this path"
+	}
+	return m.CompleteMigrate(id)
+}
+
+// AsyncAbort resolves only in a spawned goroutine: the function (and its
+// caller's view of the protocol) completes before the abort runs.
+func AsyncAbort(m *Meta, parts []uint64) {
+	_, _ = m.BeginMigrate(parts, 1, 2)
+	go func() {
+		_, _ = m.AbortMigrate(1)
+	}()
+} // want "BeginMigrate at .* is not resolved on this path"

@@ -1,0 +1,76 @@
+// Package migok resolves every migration it begins: deferred aborts,
+// transitive resolution through helpers, guard branches on the Begin error,
+// and the named protocol forwarders themselves.
+package migok
+
+// Meta is a miniature migration metadata service; the checker matches the
+// protocol calls by name.
+type Meta struct{ pending map[uint64]bool }
+
+// BeginMigrate installs a migration record.
+func (m *Meta) BeginMigrate(parts []uint64, from, to uint64) (uint64, error) {
+	m.pending[1] = true
+	return 1, nil
+}
+
+// CompleteMigrate retires a record.
+func (m *Meta) CompleteMigrate(id uint64) error {
+	delete(m.pending, id)
+	return nil
+}
+
+// AbortMigrate removes a record.
+func (m *Meta) AbortMigrate(id uint64) (bool, error) {
+	delete(m.pending, id)
+	return false, nil
+}
+
+// DeferredAbort covers every exit with a deferred conditional abort.
+func DeferredAbort(m *Meta, parts []uint64, ok bool) error {
+	id, err := m.BeginMigrate(parts, 1, 2)
+	if err != nil {
+		return err
+	}
+	completed := false
+	defer func() {
+		if !completed {
+			_, _ = m.AbortMigrate(id)
+		}
+	}()
+	if !ok {
+		return nil
+	}
+	completed = true
+	return m.CompleteMigrate(id)
+}
+
+func abortAndWrap(m *Meta, id uint64, err error) error {
+	_, _ = m.AbortMigrate(id)
+	return err
+}
+
+// HelperAbort resolves through a helper the call graph sees into.
+func HelperAbort(m *Meta, parts []uint64, ok bool) error {
+	id, err := m.BeginMigrate(parts, 1, 2)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return abortAndWrap(m, id, nil)
+	}
+	return m.CompleteMigrate(id)
+}
+
+// Service's BeginMigrate is a protocol forwarder: functions named after the
+// protocol calls are the implementations, not clients, and are exempt.
+type Service struct{ m Meta }
+
+// BeginMigrate forwards to the store and returns the id to the remote
+// caller, who owns the resolution.
+func (s *Service) BeginMigrate(parts []uint64) (uint64, error) {
+	id, err := s.m.BeginMigrate(parts, 1, 2)
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}

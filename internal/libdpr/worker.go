@@ -160,8 +160,14 @@ type Worker struct {
 	// never the other way around. The session gate is never held together
 	// with rbMu; admission pins a lane slot (not a lock) around it.
 	//
+	// Rollback also calls so.Restore while holding rbMu, so the state
+	// object's internal locks nest under it too (the store never calls
+	// back into the worker, so the inverse nesting cannot form).
+	//
 	//dpr:lockorder libdpr.Worker.rbMu < libdpr.Worker.depsMu
 	//dpr:lockorder libdpr.Worker.rbMu < libdpr.Worker.cutMu
+	//dpr:lockorder libdpr.Worker.rbMu < dredis.stateObject.latch
+	//dpr:lockorder libdpr.Worker.rbMu < dredis.stateObject.savesMu
 	exec    *epoch.Table
 	rbFence atomic.Uint64
 	rbMu    sync.Mutex
@@ -567,7 +573,7 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader, lane *ExecLane) (core.WorldLin
 		return wl, fmt.Errorf("%w (session %d fenced at seq %d, batch starts at %d)",
 			ErrStaleBatch, h.SessionID, fence, h.SeqStart)
 	}
-	return wl, nil //dpr:ignore mutex-discipline guarded admission: success deliberately returns holding the lane's epoch slot and the session gate; ReleaseBatch is the paired release
+	return wl, nil //dpr:ignore mutex-discipline,epoch-discipline guarded admission: success deliberately returns holding the lane's epoch slot and the session gate; ReleaseBatch is the paired release
 }
 
 // ReleaseBatch ends the execution pinned by a successful AdmitBatchGuarded.

@@ -88,11 +88,59 @@ type RPCService struct {
 
 	hbMu       sync.Mutex
 	heartbeats map[core.WorkerID]time.Time
+
+	// Serving lifecycle: Serve tracks the listener, every accepted conn,
+	// and a WaitGroup joined by the accept and per-conn goroutines, so
+	// Stop can tear the whole serving stack down instead of leaking
+	// goroutines blocked in ServeConn reads.
+	ln     net.Listener
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
 
 // NewRPCService wraps a store.
 func NewRPCService(store *Store) *RPCService {
-	return &RPCService{store: store, heartbeats: make(map[core.WorkerID]time.Time)}
+	return &RPCService{
+		store:      store,
+		heartbeats: make(map[core.WorkerID]time.Time),
+		conns:      make(map[net.Conn]struct{}),
+	}
+}
+
+// track registers an accepted conn; it reports false when the service is
+// already stopping (conns nil) and the caller should drop the conn.
+func (s *RPCService) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.conns == nil {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *RPCService) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, conn)
+}
+
+// Stop closes the listener and every live connection, then waits for the
+// accept loop and all per-connection goroutines to exit. Safe to call more
+// than once.
+func (s *RPCService) Stop() {
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.connMu.Lock()
+	conns := s.conns
+	s.conns = nil
+	s.connMu.Unlock()
+	for conn := range conns {
+		_ = conn.Close()
+	}
+	s.wg.Wait()
 }
 
 // RegisterWorker is the RPC for Service.RegisterWorker.
@@ -228,8 +276,9 @@ func (s *RPCService) Silent(timeout time.Duration) []core.WorkerID {
 	return out
 }
 
-// Serve starts the RPC service on addr, returning the listener (close it to
-// stop) and the resolved address.
+// Serve starts the RPC service on addr, returning the listener (close it —
+// or call RPCService.Stop — to stop) and the resolved address. Stop also
+// closes every live connection and joins the serving goroutines.
 func Serve(store *Store, addr string) (*RPCService, net.Listener, error) {
 	svc := NewRPCService(store)
 	srv := rpc.NewServer()
@@ -240,13 +289,25 @@ func Serve(store *Store, addr string) (*RPCService, net.Listener, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	svc.ln = ln
+	svc.wg.Add(1)
 	go func() {
+		defer svc.wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			if !svc.track(conn) {
+				_ = conn.Close()
+				continue
+			}
+			svc.wg.Add(1)
+			go func() {
+				defer svc.wg.Done()
+				defer svc.untrack(conn)
+				srv.ServeConn(conn)
+			}()
 		}
 	}()
 	return svc, ln, nil

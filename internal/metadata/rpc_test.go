@@ -136,3 +136,50 @@ func TestRPCWorkerThroughService(t *testing.T) {
 		}
 	}
 }
+
+// TestServeStopJoinsGoroutines is the regression test for the serving-stack
+// leak the goroutine-lifecycle checker found: Serve used to spawn an accept
+// loop and per-connection ServeConn goroutines that nothing could stop, so a
+// finder teardown left goroutines parked in gob reads forever. Stop must
+// close the listener and every live connection and join all of them.
+func TestServeStopJoinsGoroutines(t *testing.T) {
+	store := NewStore(Config{Finder: FinderApproximate})
+	svc, ln, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a few live connections mid-request-stream.
+	var clients []*RPCClient
+	for i := 0; i < 3; i++ {
+		c, err := Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		if err := c.Heartbeat(core.WorkerID(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		svc.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not join the serving goroutines: accept loop or a ServeConn leaked")
+	}
+	// The listener is down and the parked conns are dead.
+	if _, err := Dial(ln.Addr().String()); err == nil {
+		t.Fatal("listener still accepting after Stop")
+	}
+	for _, c := range clients {
+		if err := c.Heartbeat(9); err == nil {
+			t.Fatal("connection survived Stop")
+		}
+	}
+	// Stop is idempotent.
+	svc.Stop()
+}
