@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet dpr-vet test race fuzz bench bench-scaling bench-scale scale-smoke chaos-elastic
+.PHONY: check build vet dpr-vet test race fuzz bench bench-commit bench-scaling bench-scale scale-smoke chaos-elastic chaos-fastcommit
 
 # The full pre-commit gate, in the order CI runs it.
 check: build vet dpr-vet test
@@ -27,12 +27,22 @@ race:
 # Replay the checked-in decoder corpus and mutate for a few seconds per
 # target, mirroring the CI fuzz job.
 fuzz:
-	for target in FuzzDecodeBatchRequest FuzzDecodeBatchReply FuzzDecodeError; do \
+	for target in FuzzDecodeBatchRequest FuzzDecodeBatchReply FuzzDecodeError FuzzDecodeCutAdvance; do \
 		$(GO) test ./internal/wire -run '^$$' -fuzz "^$$target\$$" -fuzztime 10s || exit 1; \
 	done
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Commit-latency table (Fig 12 companion): the same workload under the
+# polled commit plane (pump disabled, checkpoint timer only) and the pushed
+# pipeline (dirty-driven group commit, push reports, streamed cut advances),
+# reporting exact commit p50/p90/p99 from raw samples — the log-bucketed
+# histogram quantizes too coarsely at this range to show the difference.
+# EXPERIMENTS.md records the before/after table.
+bench-commit:
+	BENCH_COMMIT=1 $(GO) test ./internal/bench -run 'TestCommitLatencyAblationSmoke' \
+		-v -timeout 10m
 
 # The multi-core scaling curve: the full networked serve pipeline at 1, 2,
 # 4, and 8 cores. With the sharded epoch-protected index and per-lane
@@ -59,6 +69,14 @@ bench-scale:
 #   go test ./internal/chaos -race -run Chaos
 chaos-elastic:
 	CHAOS_ELASTIC=1 CHAOS_SEEDS=20 $(GO) test ./internal/chaos -race \
+		-run 'TestChaos$$' -timeout 40m -v
+
+# Fast-commit chaos sweep: the dirty-driven commit pump at a 500µs floor, so
+# nearly every checkpoint is an incremental delta and worker kills land in
+# the seal→report window. Reproduce one seed with:
+#   CHAOS_FASTCOMMIT=1 CHAOS_SEED=<seed> go test ./internal/chaos -race -run Chaos
+chaos-fastcommit:
+	CHAOS_FASTCOMMIT=1 CHAOS_SEEDS=20 $(GO) test ./internal/chaos -race \
 		-run 'TestChaos$$' -timeout 40m -v
 
 # The 100k-session harness under the race detector — the PR-triggered CI

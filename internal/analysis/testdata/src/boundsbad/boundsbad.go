@@ -18,3 +18,18 @@ func (d *rawDecoder) next() byte {
 	b := d.buf[0] // want "index of d.buf in alias decoder"
 	return b
 }
+
+// DecodeAdvanceInto mirrors a pushed cut-advance decoder that trusts the
+// frame and reads it unchecked.
+func DecodeAdvanceInto(dst *uint64, p []byte) {
+	*dst = uint64(p[8]) // want "index of p in alias decoder DecodeAdvanceInto"
+	_ = p[9:]           // want "subslice of p in alias decoder DecodeAdvanceInto"
+}
+
+type advanceDecoder struct {
+	buf []byte
+}
+
+func (d *advanceDecoder) worldLine() byte {
+	return d.buf[7] // want "index of d.buf in alias decoder"
+}

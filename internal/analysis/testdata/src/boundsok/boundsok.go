@@ -27,3 +27,25 @@ func (d *spanDecoder) next() (byte, bool) {
 	d.off++
 	return b, true
 }
+
+// DecodeAdvanceInto mirrors the pushed cut-advance frame decoder: the entry
+// count is validated against the payload size before the entry loop reads,
+// and every read is bounds-checked against the same operand.
+func DecodeAdvanceInto(dst map[uint32]uint64, p []byte) bool {
+	if len(p) < 12 {
+		return false
+	}
+	n := int(binary.LittleEndian.Uint32(p[8:12]))
+	if n > len(p) { // each entry needs 12 bytes
+		return false
+	}
+	off := 12
+	for i := 0; i < n; i++ {
+		if off+12 > len(p) {
+			return false
+		}
+		dst[binary.LittleEndian.Uint32(p[off:])] = binary.LittleEndian.Uint64(p[off+4:])
+		off += 12
+	}
+	return off == len(p)
+}

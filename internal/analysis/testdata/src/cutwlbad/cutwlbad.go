@@ -38,3 +38,11 @@ func Pin(boundary core.Version) { // want "Pin takes a migration boundary \(core
 type Sealer interface {
 	MigrationBoundary() core.Version // want "interface method Sealer.MigrationBoundary returns a migration boundary \(core.Version\) but no world-line appears in the signature"
 }
+
+// AppendCutPush mirrors a push-frame encoder that drops the world-line: the
+// pushed cut would be foldable into a session on any world, reproducing the
+// numeric-collision bug for idle sessions.
+func AppendCutPush(dst []byte, c core.Cut) []byte { // want "AppendCutPush takes a core.Cut but no world-line appears in the signature"
+	_ = c
+	return dst
+}

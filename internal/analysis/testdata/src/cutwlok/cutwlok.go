@@ -63,3 +63,18 @@ func (m *Migrator) Boundary() core.Version {
 func Bump(v core.Version) core.Version {
 	return v + 1
 }
+
+// PushedAdvance mirrors the decoded cut-advance push frame: the cut is
+// tagged by the world-line field beside it.
+type PushedAdvance struct {
+	WorldLine core.WorldLine
+	Cut       core.Cut
+}
+
+// AppendCutAdvance mirrors the push-frame encoder: the cut travels with the
+// world-line in the same signature.
+func AppendCutAdvance(dst []byte, wl core.WorldLine, c core.Cut) []byte {
+	_ = wl
+	_ = c
+	return dst
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -198,6 +199,31 @@ func TestAblationCheckpointKindsSmoke(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"fold-over", "snapshot", "recover-time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCommitLatencyAblationSmoke runs the commit-plane ablation end to end.
+// With BENCH_COMMIT set (the `make bench-commit` entry point) it runs the
+// full-duration measurement and prints the table to stdout.
+func TestCommitLatencyAblationSmoke(t *testing.T) {
+	opt, buf := tinyOpts()
+	opt.Duration = 400 * time.Millisecond // needs checkpoints to commit
+	if os.Getenv("BENCH_COMMIT") != "" {
+		opt.Out = os.Stdout
+		opt.Duration = 3 * time.Second
+		opt.Short = false
+	}
+	if err := CommitLatencyAblation(opt); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("BENCH_COMMIT") != "" {
+		return
+	}
+	out := buf.String()
+	for _, want := range []string{"polled", "pushed", "commit-p50"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"dpr/internal/metadata"
+	"dpr/internal/workload"
+)
+
+// CommitLatencyAblation measures the event-driven commit plane end to end:
+// the same workload once under the polled baseline (commit pump disabled, the
+// periodic checkpoint cadence alone decides when work durabilizes) and once
+// under the pushed pipeline (dirty-driven group commit, push-based
+// persistence reports, streamed cut advances). Commit latency is the Fig 12
+// metric — issue to covered-by-a-committed-cut — reported as exact sample
+// quantiles; the paper's 100ms cadence puts the polled p50 near cadence/2,
+// while the pushed pipeline should sit near the pump interval plus one
+// metadata round trip. EXPERIMENTS.md records the before/after table; `make
+// bench-commit` regenerates it.
+func CommitLatencyAblation(opt Options) error {
+	opt = opt.withDefaults()
+	header(opt.Out, "Commit plane: polled baseline vs pushed pipeline (Fig 12 companion)")
+	ckpt := 100 * time.Millisecond
+	if opt.Short {
+		ckpt = 50 * time.Millisecond
+	}
+	fmt.Fprintf(opt.Out, "checkpoint cadence %v; commit latency = issue -> covered by committed cut\n", ckpt)
+	fmt.Fprintf(opt.Out, "%-8s %12s %12s %12s %12s %8s\n",
+		"mode", "Mops/s", "commit-p50", "commit-p90", "commit-p99", "n")
+	for _, pushed := range []bool{false, true} {
+		name, minCommit := "polled", -time.Millisecond
+		if pushed {
+			name, minCommit = "pushed", 0
+		}
+		bc, err := buildCluster(clusterSpec{
+			shards: 2, ckptEvery: ckpt, minCommit: minCommit,
+			backend: BackendLocalSSD, finder: metadata.FinderApproximate,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := bc.run(runSpec{
+			clients: 4, batch: 64, dist: workload.Zipfian, readFrac: 0.5,
+			keys: opt.Keys, duration: opt.Duration,
+			sampleEvery: 128, sampleCommit: true, seed: 29,
+		})
+		bc.close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(opt.Out, "%-8s %12.2f %12v %12v %12v %8d\n",
+			name, res.MopsPerSec(),
+			res.CommitExact.Quantile(50).Truncate(time.Microsecond),
+			res.CommitExact.Quantile(90).Truncate(time.Microsecond),
+			res.CommitExact.Quantile(99).Truncate(time.Microsecond),
+			res.CommitExact.N())
+	}
+	return nil
+}

@@ -106,7 +106,7 @@ func assignPartitions(meta *metadata.Store, shards int) {
 // runRedisCell drives the standard client against whatever the metadata
 // store routes to.
 func runRedisCell(opt Options, meta *metadata.Store, clients, b, w int, sampleEvery int) (runResult, error) {
-	res := runResult{OpLat: &stats.Histogram{}, CommitLat: &stats.Histogram{}}
+	res := runResult{OpLat: &stats.Histogram{}, CommitLat: &stats.Histogram{}, CommitExact: &exactSamples{}}
 	var completed stats.Counter
 	stop := make(chan struct{})
 	errCh := make(chan error, clients)

@@ -11,6 +11,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -89,9 +90,12 @@ type clusterSpec struct {
 	shards     int
 	partitions int
 	ckptEvery  time.Duration // 0 disables checkpoints ("No Chkpts")
-	backend    StorageBackend
-	finder     metadata.FinderKind
-	memBudget  int64
+	// minCommit is the dirty-driven commit pump's rate limit (0: the libDPR
+	// default; < 0 disables the pump — the purely polled commit plane).
+	minCommit time.Duration
+	backend   StorageBackend
+	finder    metadata.FinderKind
+	memBudget int64
 	// eventual silences finder reporting: workers checkpoint on the timer
 	// but no DPR cuts ever form — the "eventual recoverability" level of
 	// §7.6 (persistence without coordinated guarantees).
@@ -130,6 +134,7 @@ func buildCluster(spec clusterSpec) (*benchCluster, error) {
 			ID:                 core.WorkerID(i + 1),
 			ListenAddr:         "127.0.0.1:0",
 			CheckpointInterval: spec.ckptEvery,
+			MinCommitInterval:  spec.minCommit,
 			Partitions:         spec.partitions,
 			Device:             spec.backend.device(),
 			KV:                 kv.Config{BucketCount: 1 << 16, MemoryBudget: spec.memBudget},
@@ -179,13 +184,72 @@ type runSpec struct {
 	seed   int64
 }
 
+// exactSamples collects raw duration samples for exact quantiles. The
+// log-bucketed stats.Histogram steps ~12.5% per bucket, which is fine for
+// operation latencies but useless for commit latency: every cadence-dominated
+// run lands in the same bucket and two configurations that differ by 10x in
+// reality print the identical bucket floor (the 57.344ms p50 artifact).
+// Commit samples are sparse (1 in sampleEvery ops), so keeping them raw is
+// cheap and the quantiles come out exact.
+type exactSamples struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+// Record appends one sample.
+func (s *exactSamples) Record(d time.Duration) {
+	s.mu.Lock()
+	s.ds = append(s.ds, d)
+	s.mu.Unlock()
+}
+
+// N returns the sample count.
+func (s *exactSamples) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ds)
+}
+
+// Quantile returns the exact p-quantile (p in [0,100], nearest rank) of the
+// recorded samples, or 0 with no samples.
+func (s *exactSamples) Quantile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ds) == 0 {
+		return 0
+	}
+	if !sort.SliceIsSorted(s.ds, func(i, j int) bool { return s.ds[i] < s.ds[j] }) {
+		sort.Slice(s.ds, func(i, j int) bool { return s.ds[i] < s.ds[j] })
+	}
+	idx := int(p / 100 * float64(len(s.ds)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.ds) {
+		idx = len(s.ds) - 1
+	}
+	return s.ds[idx]
+}
+
+// String renders the exact quantile summary line.
+func (s *exactSamples) String() string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v (n=%d)",
+		s.Quantile(50).Truncate(time.Microsecond),
+		s.Quantile(90).Truncate(time.Microsecond),
+		s.Quantile(99).Truncate(time.Microsecond),
+		s.Quantile(100).Truncate(time.Microsecond), s.N())
+}
+
 // runResult aggregates one cell's measurements.
 type runResult struct {
-	Ops        uint64
-	Elapsed    time.Duration
-	OpLat      *stats.Histogram
-	CommitLat  *stats.Histogram
-	ErrorCount uint64
+	Ops       uint64
+	Elapsed   time.Duration
+	OpLat     *stats.Histogram
+	CommitLat *stats.Histogram
+	// CommitExact holds the raw commit-latency samples behind CommitLat;
+	// report quantiles from here, not from the bucketed histogram.
+	CommitExact *exactSamples
+	ErrorCount  uint64
 }
 
 // MopsPerSec returns throughput in million operations per second.
@@ -200,7 +264,7 @@ func (bc *benchCluster) run(spec runSpec) (runResult, error) {
 	if spec.window <= 0 {
 		spec.window = 16 * spec.batch // the paper's default w = 16b
 	}
-	res := runResult{OpLat: &stats.Histogram{}, CommitLat: &stats.Histogram{}}
+	res := runResult{OpLat: &stats.Histogram{}, CommitLat: &stats.Histogram{}, CommitExact: &exactSamples{}}
 	var completed, errs stats.Counter
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -317,6 +381,7 @@ func (bc *benchCluster) run(spec runSpec) (runResult, error) {
 						for _, s := range commitSamples {
 							if s.seq <= p {
 								res.CommitLat.Record(now.Sub(s.at))
+								res.CommitExact.Record(now.Sub(s.at))
 							} else {
 								keep = append(keep, s)
 							}

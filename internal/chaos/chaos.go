@@ -44,6 +44,11 @@ type Config struct {
 	// Checkpoint is the per-worker commit cadence (small, so cuts advance
 	// fast enough for short scenarios).
 	Checkpoint time.Duration
+	// MinCommit is the dirty-driven commit pump's rate limit (0: the libDPR
+	// default; < 0 disables the pump). CHAOS_FASTCOMMIT drives it low so
+	// delta checkpoints seal constantly and crashes land inside the
+	// seal→report window.
+	MinCommit time.Duration
 	// Finder selects the cut-finding algorithm under test.
 	Finder metadata.FinderKind
 	// IndexShards is the kv hash-index shard count per worker (0 = the kv
@@ -143,6 +148,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 			ID:                 slot.id,
 			ListenAddr:         "127.0.0.1:0",
 			CheckpointInterval: cfg.Checkpoint,
+			MinCommitInterval:  cfg.MinCommit,
 			Partitions:         cfg.Partitions,
 			Device:             slot.flaky,
 			KV:                 kv.Config{BucketCount: kvBuckets, IndexShards: cfg.IndexShards},
@@ -166,6 +172,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 			ID:                 slot.id,
 			ListenAddr:         "127.0.0.1:0",
 			CheckpointInterval: cfg.Checkpoint,
+			MinCommitInterval:  cfg.MinCommit,
 			Device:             storage.NewNull(),
 		}, h.svc)
 		if err != nil {
@@ -329,6 +336,7 @@ func (h *Harness) CrashRestart(slotIdx int) error {
 		ID:                 slot.id,
 		ListenAddr:         "127.0.0.1:0",
 		CheckpointInterval: h.cfg.Checkpoint,
+		MinCommitInterval:  h.cfg.MinCommit,
 		Partitions:         h.cfg.Partitions,
 		Device:             slot.flaky,
 		KV:                 kvcfg,

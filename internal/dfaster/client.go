@@ -596,10 +596,23 @@ func (c *Client) readLoop(wc *workerConn) {
 	defer fr.Close()
 	var reply wire.BatchReply
 	var versions []core.Version
+	var adv wire.CutAdvance
 	for {
 		tag, payload, err := fr.Read()
 		if err != nil {
 			break
+		}
+		// Unsolicited cut-advance pushes are not replies: they can arrive at
+		// any point between reply frames and must be handled before the
+		// in-flight pop, or they would consume (and error out) a batch whose
+		// real reply is still in the pipe.
+		if tag == wire.FrameCutAdvance {
+			if wire.DecodeCutAdvanceInto(&adv, payload) == nil {
+				if err := c.session.ObserveCut(adv.WorldLine, adv.Cut); err != nil {
+					c.recordFailure(err)
+				}
+			}
+			continue
 		}
 		wc.inflightMu.Lock()
 		if len(wc.inflight) == 0 {

@@ -356,3 +356,30 @@ func TestWindowBackpressure(t *testing.T) {
 		t.Fatalf("completed %d of 200", done.Load())
 	}
 }
+
+// TestCutAdvancePushReachesIdleSession pins the push half of the event-driven
+// commit plane: after the last batch drains, the client sends nothing — the
+// committed prefix can only advance through pushed FrameCutAdvance frames
+// folded in by the read loop (the client never polls the finder on its own).
+func TestCutAdvancePushReachesIdleSession(t *testing.T) {
+	tc := newTestCluster(t, 2, 5*time.Millisecond)
+	c := newTestClient(t, tc, 1, 8)
+	if err := c.Upsert([]byte("idle-key"), []byte("v"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := c.LastSeq()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if p, _ := c.Committed(); p >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			p, exc := c.Committed()
+			t.Fatalf("idle session never saw commit: prefix %d < %d (exc %v)", p, want, exc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

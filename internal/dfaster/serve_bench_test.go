@@ -111,6 +111,11 @@ func (c *benchConn) runBatch(b *testing.B, w *Worker, batchSize int) {
 		b.Fatal(err)
 	}
 	tag, payload, err := c.fr.Read()
+	// The worker streams unsolicited cut advances to subscribed connections;
+	// the protocol allows them at any point in the reply stream.
+	for err == nil && tag == wire.FrameCutAdvance {
+		tag, payload, err = c.fr.Read()
+	}
 	if err != nil {
 		b.Fatal(err)
 	}

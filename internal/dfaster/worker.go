@@ -48,6 +48,10 @@ type WorkerConfig struct {
 	ListenAddr string
 	// CheckpointInterval is the periodic commit cadence (paper: 100ms).
 	CheckpointInterval time.Duration
+	// MinCommitInterval rate-limits libDPR's dirty-driven commit pump, the
+	// event-driven fast path in front of the periodic cadence (0: the libDPR
+	// default; < 0 disables the pump — see libdpr.WorkerConfig).
+	MinCommitInterval time.Duration
 	// Partitions is the cluster-wide virtual partition count.
 	Partitions int
 	// Device is the durable storage backend.
@@ -110,6 +114,15 @@ type Worker struct {
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
 
+	// push is the cut-advance subscriber set: every serving connection
+	// registers its locked writer so the worker can fan pushed FrameCutAdvance
+	// frames out when its cut snapshot changes (libdpr.Worker.OnCutAdvance) —
+	// idle sessions see commit progress in push latency instead of having to
+	// poll the finder. pushMu is never held across a socket write: the
+	// fan-out snapshots the set and writes lock-free of it.
+	pushMu sync.Mutex
+	push   map[*servedConn]struct{}
+
 	// Serving-layer instruments (libDPR protocol instruments live on w.dpr).
 	batchesC  *obs.Counter
 	opsC      *obs.Counter
@@ -155,6 +168,7 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		moved:    make(map[uint64]core.WorkerID),
 		refusals: make(map[refusalKey]*refusalLedger),
 		conns:    make(map[net.Conn]struct{}),
+		push:     make(map[*servedConn]struct{}),
 		stop:     make(chan struct{}),
 	}
 	empty := make(map[uint64]time.Time)
@@ -175,6 +189,7 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		ID:                 cfg.ID,
 		Addr:               addr,
 		CheckpointInterval: cfg.CheckpointInterval,
+		MinCommitInterval:  cfg.MinCommitInterval,
 		// Pre-encode the piggybacked cut once per refresh so replies splice
 		// bytes instead of re-serializing the map per batch.
 		EncodeCut: func(c core.Cut) []byte { return wire.AppendCut(nil, c) },
@@ -189,6 +204,7 @@ func AdoptWorker(cfg WorkerConfig, store *kv.Store, meta metadata.Service) (*Wor
 		return nil, err
 	}
 	w.dpr = dw
+	dw.OnCutAdvance(w.pushCutAdvance)
 	w.registerObs()
 	if w.ln != nil {
 		w.wg.Add(1)
@@ -557,6 +573,75 @@ func (w *Worker) untrackConn(conn net.Conn) {
 	w.connsMu.Unlock()
 }
 
+// servedConn pairs a serving connection's buffered writer with the mutex
+// that serializes reply writes (serveConn) against pushed cut-advance frames
+// (pushCutAdvance). Only the writer half is shared; the read loop stays
+// single-owner. detached (guarded by wmu) marks a connection whose writer
+// was handed to a dedicated stream (migration): unregistering alone cannot
+// stop a fan-out that already snapshotted the subscriber set, so pushes
+// re-check under the lock.
+type servedConn struct {
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	detached bool
+}
+
+// detach permanently excludes the connection from pushes, including fan-outs
+// already in flight: after detach returns, no push will touch bw again.
+func (pc *servedConn) detach() {
+	pc.wmu.Lock()
+	pc.detached = true
+	pc.wmu.Unlock()
+}
+
+func (w *Worker) registerPush(pc *servedConn) {
+	w.pushMu.Lock()
+	w.push[pc] = struct{}{}
+	w.pushMu.Unlock()
+}
+
+func (w *Worker) unregisterPush(pc *servedConn) {
+	w.pushMu.Lock()
+	delete(w.push, pc)
+	w.pushMu.Unlock()
+}
+
+// pushCutAdvance fans one cut-advance frame out to every subscribed
+// connection; it is the worker's libdpr OnCutAdvance observer, invoked
+// whenever the cut snapshot changes. The frame is encoded once from the
+// snapshot's pre-encoded cut section and spliced to each subscriber; each
+// write flushes immediately — push latency is the point, and an idle
+// connection has no upcoming reply to flush the frame out with it. A write
+// error is left for the connection's own serve loop to discover (bufio
+// errors are sticky).
+func (w *Worker) pushCutAdvance(wl core.WorldLine, encoded []byte) {
+	if len(encoded) == 0 {
+		return
+	}
+	w.pushMu.Lock()
+	if len(w.push) == 0 {
+		w.pushMu.Unlock()
+		return
+	}
+	targets := make([]*servedConn, 0, len(w.push))
+	for pc := range w.push {
+		targets = append(targets, pc)
+	}
+	w.pushMu.Unlock()
+	out := wire.GetBuffer()
+	*out = wire.AppendCutAdvanceEncoded((*out)[:0], wl, encoded)
+	for _, pc := range targets {
+		pc.wmu.Lock()
+		if !pc.detached {
+			if wire.WriteFrame(pc.bw, wire.FrameCutAdvance, *out) == nil {
+				pc.bw.Flush()
+			}
+		}
+		pc.wmu.Unlock()
+	}
+	wire.PutBuffer(out)
+}
+
 func (w *Worker) acceptLoop() {
 	defer w.wg.Done()
 	for {
@@ -634,6 +719,17 @@ func (w *Worker) serveConn(conn net.Conn) {
 	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
 	defer fr.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	// Cut-advance subscription is lazy — only session connections (those
+	// that send batch requests) subscribe. A migration stream's dial would
+	// otherwise race its FrameMigrateBegin against a push: the source reads
+	// the ack with a plain frame reader that expects no interleaving.
+	pc := &servedConn{bw: bw}
+	registered := false
+	defer func() {
+		if registered {
+			w.unregisterPush(pc)
+		}
+	}()
 	out := wire.GetBuffer()
 	defer wire.PutBuffer(out)
 	sc := NewBatchScratch()
@@ -653,34 +749,46 @@ func (w *Worker) serveConn(conn net.Conn) {
 			return
 		}
 		if tag == wire.FrameMigrateBegin {
-			// The connection becomes a dedicated migration stream: receive
-			// the partition handover, ack, and close.
+			// The connection becomes a dedicated migration stream: the peer
+			// is not a session, so pushes stop (including any fan-out already
+			// in flight) before the handover takes over the writer; then
+			// receive, ack, and close.
+			if registered {
+				w.unregisterPush(pc)
+				registered = false
+				pc.detach()
+			}
 			w.receiveMigration(fr, bw, sess, payload)
 			return
 		}
 		if tag != wire.FrameBatchRequest {
 			return
 		}
+		if !registered {
+			w.registerPush(pc)
+			registered = true
+		}
 		if err := wire.DecodeBatchRequestInto(&req, payload); err != nil {
 			return
 		}
 		reply, errReply := w.executeBatch(sess, &req, sc, lane)
+		var replyTag byte
 		if errReply != nil {
 			*out = wire.AppendError((*out)[:0], errReply)
-			if wire.WriteFrame(bw, wire.FrameError, *out) != nil {
-				return
-			}
+			replyTag = wire.FrameError
 		} else {
 			*out = wire.AppendBatchReply((*out)[:0], reply)
-			if wire.WriteFrame(bw, wire.FrameBatchReply, *out) != nil {
-				return
-			}
+			replyTag = wire.FrameBatchReply
 		}
+		pc.wmu.Lock()
+		werr := wire.WriteFrame(bw, replyTag, *out)
 		// Flush when no more batches are immediately available.
-		if fr.Buffered() == 0 {
-			if bw.Flush() != nil {
-				return
-			}
+		if werr == nil && fr.Buffered() == 0 {
+			werr = bw.Flush()
+		}
+		pc.wmu.Unlock()
+		if werr != nil {
+			return
 		}
 	}
 }

@@ -50,6 +50,12 @@ type stateObject struct {
 	current   atomic.Uint64 // version new batches execute in
 	persisted atomic.Uint64
 
+	// persistObs is the registered persist observer (libdpr.PersistNotifier):
+	// watchSaves fires it when the persisted version advances, so the libDPR
+	// worker reports in LASTSAVE-poll latency instead of waiting for its next
+	// maintenance tick.
+	persistObs atomic.Pointer[func(core.Version)]
+
 	// saves maps version -> redisclone save id, durably mirrored so Restore
 	// can find the right snapshot after a process restart.
 	savesMu sync.Mutex
@@ -130,17 +136,37 @@ func (so *stateObject) watchSaves() {
 			so.latch.RLock()
 			last := so.srv.LastSave()
 			so.latch.RUnlock()
+			var advanced core.Version
 			so.savesMu.Lock()
 			for len(so.watching) > 0 && so.watching[0].save <= last {
 				v := so.watching[0].version
 				if uint64(v) > so.persisted.Load() {
 					so.persisted.Store(uint64(v))
+					advanced = v
 				}
 				so.watching = so.watching[1:]
 			}
 			so.savesMu.Unlock()
+			// Fire outside savesMu: the observer only does a non-blocking
+			// channel send, but the lock has no business being held for it.
+			if advanced != 0 {
+				if f := so.persistObs.Load(); f != nil {
+					(*f)(advanced)
+				}
+			}
 		}
 	}
+}
+
+// OnPersist implements libdpr.PersistNotifier: fn is invoked from the save
+// watcher whenever the persisted version advances. At most one observer; nil
+// unregisters.
+func (so *stateObject) OnPersist(fn func(core.Version)) {
+	if fn == nil {
+		so.persistObs.Store(nil)
+		return
+	}
+	so.persistObs.Store(&fn)
 }
 
 // Restore implements core.StateObject by restarting the wrapped instance
@@ -192,14 +218,20 @@ func (so *stateObject) close() {
 	so.latch.Unlock()
 }
 
-var _ libdpr.StateObject = (*stateObject)(nil)
+var (
+	_ libdpr.StateObject     = (*stateObject)(nil)
+	_ libdpr.PersistNotifier = (*stateObject)(nil)
+)
 
 // WorkerConfig parameterizes a D-Redis worker (proxy + instance).
 type WorkerConfig struct {
 	ID                 core.WorkerID
 	ListenAddr         string
 	CheckpointInterval time.Duration
-	Device             storage.Device
+	// MinCommitInterval rate-limits libDPR's dirty-driven commit pump (0:
+	// the libDPR default; < 0 disables the pump — see libdpr.WorkerConfig).
+	MinCommitInterval time.Duration
+	Device            storage.Device
 	// AOF lets Figure 19 run the same worker in synchronous-recoverability
 	// mode (AOFAlways) or eventual mode; leave AOFOff for DPR.
 	AOF redisclone.AOFMode
@@ -225,6 +257,12 @@ type Worker struct {
 	// conns tracks accepted connections so Stop can unblock their read
 	// loops; without this, Stop hangs until clients hang up on their own.
 	tracker connTracker
+
+	// push is the cut-advance subscriber set (see dfaster: idle sessions see
+	// commit progress in push latency). pushMu is never held across a socket
+	// write: the fan-out snapshots the set and writes lock-free of it.
+	pushMu sync.Mutex
+	push   map[*servedConn]struct{}
 
 	// Serving-layer instruments (libDPR protocol instruments live on w.dpr).
 	batchesC  *obs.Counter
@@ -293,7 +331,8 @@ func (sc *batchScratch) grow(n int) {
 // NewWorker starts a D-Redis worker.
 func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
 	so := newStateObject(cfg.Device, fmt.Sprintf("dredis-%d", cfg.ID), cfg.AOF)
-	w := &Worker{cfg: cfg, so: so, meta: meta, stop: make(chan struct{})}
+	w := &Worker{cfg: cfg, so: so, meta: meta, stop: make(chan struct{}),
+		push: make(map[*servedConn]struct{})}
 	addr := cfg.ListenAddr
 	if addr != "" {
 		ln, err := net.Listen("tcp", addr)
@@ -308,6 +347,7 @@ func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
 		ID:                 cfg.ID,
 		Addr:               addr,
 		CheckpointInterval: cfg.CheckpointInterval,
+		MinCommitInterval:  cfg.MinCommitInterval,
 		// Pre-encode the piggybacked cut once per refresh so replies splice
 		// bytes instead of re-serializing the map per batch.
 		EncodeCut: func(c core.Cut) []byte { return wire.AppendCut(nil, c) },
@@ -322,6 +362,7 @@ func NewWorker(cfg WorkerConfig, meta metadata.Service) (*Worker, error) {
 		return nil, err
 	}
 	w.dpr = dw
+	dw.OnCutAdvance(w.pushCutAdvance)
 	w.registerObs()
 	if w.ln != nil {
 		w.wg.Add(1)
@@ -415,6 +456,57 @@ func (w *Worker) acceptLoop() {
 	}
 }
 
+// servedConn pairs a serving connection's buffered writer with the mutex
+// that serializes reply writes (serveConn) against pushed cut-advance frames
+// (pushCutAdvance); same shape as dfaster's.
+type servedConn struct {
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+func (w *Worker) registerPush(pc *servedConn) {
+	w.pushMu.Lock()
+	w.push[pc] = struct{}{}
+	w.pushMu.Unlock()
+}
+
+func (w *Worker) unregisterPush(pc *servedConn) {
+	w.pushMu.Lock()
+	delete(w.push, pc)
+	w.pushMu.Unlock()
+}
+
+// pushCutAdvance fans one cut-advance frame out to every subscribed
+// connection; it is the worker's libdpr OnCutAdvance observer. Each write
+// flushes immediately — an idle connection has no upcoming reply to flush
+// the frame out with it. Write errors are left for the connection's own
+// serve loop to discover (bufio errors are sticky).
+func (w *Worker) pushCutAdvance(wl core.WorldLine, encoded []byte) {
+	if len(encoded) == 0 {
+		return
+	}
+	w.pushMu.Lock()
+	if len(w.push) == 0 {
+		w.pushMu.Unlock()
+		return
+	}
+	targets := make([]*servedConn, 0, len(w.push))
+	for pc := range w.push {
+		targets = append(targets, pc)
+	}
+	w.pushMu.Unlock()
+	out := wire.GetBuffer()
+	*out = wire.AppendCutAdvanceEncoded((*out)[:0], wl, encoded)
+	for _, pc := range targets {
+		pc.wmu.Lock()
+		if wire.WriteFrame(pc.bw, wire.FrameCutAdvance, *out) == nil {
+			pc.bw.Flush()
+		}
+		pc.wmu.Unlock()
+	}
+	wire.PutBuffer(out)
+}
+
 func (w *Worker) serveConn(conn net.Conn) {
 	defer w.wg.Done()
 	defer w.tracker.untrack(conn)
@@ -425,6 +517,9 @@ func (w *Worker) serveConn(conn net.Conn) {
 	fr := wire.NewFrameReader(bufio.NewReaderSize(conn, 1<<16))
 	defer fr.Close()
 	bw := bufio.NewWriterSize(conn, 1<<16)
+	pc := &servedConn{bw: bw}
+	w.registerPush(pc)
+	defer w.unregisterPush(pc)
 	out := wire.GetBuffer()
 	defer wire.PutBuffer(out)
 	var sc batchScratch
@@ -445,20 +540,22 @@ func (w *Worker) serveConn(conn net.Conn) {
 			return
 		}
 		reply, errReply := w.executeBatch(&req, &sc, lane)
+		var replyTag byte
 		if errReply != nil {
 			*out = wire.AppendError((*out)[:0], errReply)
-			err = wire.WriteFrame(bw, wire.FrameError, *out)
+			replyTag = wire.FrameError
 		} else {
 			*out = wire.AppendBatchReply((*out)[:0], reply)
-			err = wire.WriteFrame(bw, wire.FrameBatchReply, *out)
+			replyTag = wire.FrameBatchReply
 		}
-		if err != nil {
+		pc.wmu.Lock()
+		werr := wire.WriteFrame(bw, replyTag, *out)
+		if werr == nil && fr.Buffered() == 0 {
+			werr = bw.Flush()
+		}
+		pc.wmu.Unlock()
+		if werr != nil {
 			return
-		}
-		if fr.Buffered() == 0 {
-			if bw.Flush() != nil {
-				return
-			}
 		}
 	}
 }

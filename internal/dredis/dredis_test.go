@@ -259,3 +259,29 @@ func TestDRedisRMWCounter(t *testing.T) {
 		t.Fatalf("counter %d, want 50", val.Load())
 	}
 }
+
+// TestDRedisCutAdvancePush mirrors dfaster's idle-session push test: with no
+// further requests after the drain, commit progress can only reach the
+// session through pushed cut-advance frames.
+func TestDRedisCutAdvancePush(t *testing.T) {
+	c := newDRCluster(t, 1, 5*time.Millisecond)
+	cl := newDRClient(t, c, 1, 8)
+	if err := cl.Upsert([]byte("idle-key"), []byte("v"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := cl.LastSeq()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if p, _ := cl.Committed(); p >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			p, exc := cl.Committed()
+			t.Fatalf("idle session never saw commit: prefix %d < %d (exc %v)", p, want, exc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

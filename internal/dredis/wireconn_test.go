@@ -34,6 +34,11 @@ func (c *wireConn) roundTrip(t *testing.T, req *wire.BatchRequest) *wire.BatchRe
 		t.Fatal(err)
 	}
 	tag, payload, err := wire.ReadFrame(c.r)
+	// Unsolicited cut-advance pushes may interleave with replies on a DPR
+	// worker connection; the protocol requires tolerating them anywhere.
+	for err == nil && tag == wire.FrameCutAdvance {
+		tag, payload, err = wire.ReadFrame(c.r)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}

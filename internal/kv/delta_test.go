@@ -1,0 +1,370 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/storage"
+)
+
+func deltaConfig() Config {
+	return Config{BucketCount: 1 << 8, Checkpoint: Snapshot, SnapshotFullEvery: 4}
+}
+
+// commitAll checkpoints everything written so far and waits for durability,
+// returning the persisted version.
+func commitAll(t *testing.T, s *Store) core.Version {
+	t.Helper()
+	target := s.CurrentVersion()
+	if err := s.BeginCommit(target); err != nil {
+		t.Fatal(err)
+	}
+	waitPersisted(t, s, target)
+	return target
+}
+
+// TestDeltaCheckpointAndRecover: a full snapshot followed by several deltas
+// recovers the latest value of every key, including keys only ever written
+// in a delta window and keys overwritten across windows.
+func TestDeltaCheckpointAndRecover(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, deltaConfig())
+	sess := s.NewSession()
+
+	sess.Upsert([]byte("stable"), []byte("v0"))
+	sess.Upsert([]byte("hot"), []byte("h0"))
+	commitAll(t, s) // full snapshot
+
+	var last core.Version
+	for i := 1; i <= 3; i++ {
+		sess.Upsert([]byte("hot"), []byte(fmt.Sprintf("h%d", i)))
+		sess.Upsert([]byte(fmt.Sprintf("delta-only-%d", i)), []byte("d"))
+		last = commitAll(t, s) // deltas
+	}
+	if got := s.Checkpoints(); got != 4 {
+		t.Fatalf("checkpoints = %d, want 4", got)
+	}
+	// The deltas must be deltas: sdelta blobs exist above the full snapshot.
+	if dev.BlobSize(deltaBlobName(last)) < deltaHeaderSize {
+		t.Fatalf("no delta blob at version %d", last)
+	}
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(dev, deltaConfig(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "stable"); string(got) != "v0" {
+		t.Fatalf("stable = %q", got)
+	}
+	if got := mustRead(t, rs, "hot"); string(got) != "h3" {
+		t.Fatalf("hot = %q, want h3", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := mustRead(t, rs, fmt.Sprintf("delta-only-%d", i)); string(got) != "d" {
+			t.Fatalf("delta-only-%d = %q", i, got)
+		}
+	}
+}
+
+// TestDeltaTombstoneShadowsBase: a key deleted after the full snapshot must
+// stay deleted after recovering through the delta that recorded the delete.
+func TestDeltaTombstoneShadowsBase(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, deltaConfig())
+	sess := s.NewSession()
+
+	sess.Upsert([]byte("doomed"), []byte("x"))
+	sess.Upsert([]byte("kept"), []byte("y"))
+	commitAll(t, s) // full
+
+	sess.Delete([]byte("doomed"))
+	last := commitAll(t, s) // delta carrying the tombstone
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(dev, deltaConfig(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if _, status, _ := rs.Read([]byte("doomed"), 0); status != StatusNotFound {
+		t.Fatalf("doomed: %v, want NOT_FOUND", status)
+	}
+	if got := mustRead(t, rs, "kept"); string(got) != "y" {
+		t.Fatalf("kept = %q", got)
+	}
+}
+
+// TestDeltaFullCadence: every SnapshotFullEvery-th checkpoint is a full
+// snapshot, restarting the chain.
+func TestDeltaFullCadence(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, deltaConfig()) // full every 4th
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+
+	var targets []core.Version
+	for i := 0; i < 8; i++ {
+		sess.Upsert([]byte("k"), []byte(fmt.Sprintf("v%d", i)))
+		targets = append(targets, commitAll(t, s))
+	}
+	// Checkpoints 0 and 4 are full; the rest are deltas.
+	for i, v := range targets {
+		full := dev.BlobSize(snapBlobName(v)) >= 8
+		delta := dev.BlobSize(deltaBlobName(v)) >= deltaHeaderSize
+		if wantFull := i%4 == 0; full != wantFull || delta == wantFull {
+			t.Fatalf("checkpoint %d (version %d): full=%v delta=%v, want full=%v",
+				i, v, full, delta, wantFull)
+		}
+	}
+}
+
+// TestDeltaCrashBeforeReport is the crash-during-delta-checkpoint case: the
+// store seals a delta (persisted advances) and the process dies before the
+// finder ever hears about it. DPR may then ask the restarted worker for any
+// version at or below the sealed one — including versions only reachable
+// through the middle of the delta chain — and recovery must produce exactly
+// the <=v prefix.
+func TestDeltaCrashBeforeReport(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, deltaConfig())
+	sess := s.NewSession()
+
+	sess.Upsert([]byte("k"), []byte("full"))
+	v0 := commitAll(t, s) // full snapshot
+	sess.Upsert([]byte("k"), []byte("mid"))
+	sess.Upsert([]byte("mid-only"), []byte("m"))
+	v1 := commitAll(t, s) // delta 1
+	sess.Upsert([]byte("k"), []byte("sealed"))
+	v2 := commitAll(t, s) // delta 2: sealed, never reported
+	sess.Close()
+	s.Close() // crash
+
+	// The finder never ingested v2's report, so the cut may pin this worker
+	// anywhere at or below v2. Recover at each possible position.
+	for _, tc := range []struct {
+		v    core.Version
+		want string
+	}{{v2, "sealed"}, {v1, "mid"}, {v0, "full"}} {
+		r, err := Recover(dev, deltaConfig(), tc.v)
+		if err != nil {
+			t.Fatalf("recover at %d: %v", tc.v, err)
+		}
+		rs := r.NewSession()
+		if got := mustRead(t, rs, "k"); string(got) != tc.want {
+			t.Fatalf("recover at %d: k = %q, want %q", tc.v, got, tc.want)
+		}
+		_, status, _ := rs.Read([]byte("mid-only"), 0)
+		if wantFound := tc.v >= v1; (status == StatusOK) != wantFound {
+			t.Fatalf("recover at %d: mid-only status %v", tc.v, status)
+		}
+		if r.PersistedVersion() > tc.v {
+			t.Fatalf("recover at %d: persisted %d beyond request", tc.v, r.PersistedVersion())
+		}
+		rs.Close()
+		r.Close()
+	}
+}
+
+// TestDeltaRollbackForcesFull: a rollback invalidates the delta chain, so the
+// next checkpoint must be a full snapshot, and recovery after it must not
+// resurrect rolled-back writes.
+func TestDeltaRollbackForcesFull(t *testing.T) {
+	dev := storage.NewNull()
+	s := NewStore(dev, deltaConfig())
+	sess := s.NewSession()
+
+	sess.Upsert([]byte("k"), []byte("good"))
+	v0 := commitAll(t, s) // full
+	sess.Upsert([]byte("k"), []byte("doomed"))
+	commitAll(t, s) // delta
+
+	if err := s.Restore(v0); err != nil {
+		t.Fatal(err)
+	}
+	sess.Upsert([]byte("k2"), []byte("after"))
+	last := commitAll(t, s)
+	if dev.BlobSize(snapBlobName(last)) < 8 {
+		t.Fatalf("checkpoint after rollback is not a full snapshot")
+	}
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(dev, deltaConfig(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	if got := mustRead(t, rs, "k"); string(got) != "good" {
+		t.Fatalf("k = %q, want pre-rollback value", got)
+	}
+	if got := mustRead(t, rs, "k2"); string(got) != "after" {
+		t.Fatalf("k2 = %q", got)
+	}
+}
+
+// TestGroupCommitCoalesces: many concurrent BeginCommit calls fold into far
+// fewer checkpoint state machine runs (single-flight group commit), while
+// every requested version still becomes durable.
+func TestGroupCommitCoalesces(t *testing.T) {
+	// A device with real write latency, so requests actually overlap an
+	// in-flight checkpoint instead of each finding the machine idle.
+	dev := storage.NewMemDevice("ssd", storage.LatencyProfile{WriteLatency: time.Millisecond})
+	s := NewStore(dev, Config{BucketCount: 1 << 8})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+
+	const requests = 64
+	var wg sync.WaitGroup
+	var maxTarget atomic.Uint64
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := sess.Upsert([]byte("k"), []byte("v"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				cur := maxTarget.Load()
+				if uint64(v) <= cur || maxTarget.CompareAndSwap(cur, uint64(v)) {
+					break
+				}
+			}
+			if err := s.BeginCommit(v); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	waitPersisted(t, s, core.Version(maxTarget.Load()))
+	if got := s.Checkpoints(); got >= requests/2 {
+		t.Fatalf("%d checkpoints for %d concurrent commits: not coalescing", got, requests)
+	}
+}
+
+// TestOnPersistFires: the observer sees every checkpoint seal, with the
+// persisted version, and is not invoked by a rollback's regression.
+func TestOnPersistFires(t *testing.T) {
+	s := NewStore(storage.NewNull(), Config{BucketCount: 1 << 8})
+	defer s.Close()
+	sess := s.NewSession()
+	defer sess.Close()
+
+	var mu sync.Mutex
+	var seen []core.Version
+	s.OnPersist(func(v core.Version) {
+		mu.Lock()
+		seen = append(seen, v)
+		mu.Unlock()
+	})
+
+	sess.Upsert([]byte("k"), []byte("v"))
+	v0 := commitAll(t, s)
+	sess.Upsert([]byte("k"), []byte("v2"))
+	v1 := commitAll(t, s)
+
+	mu.Lock()
+	got := append([]core.Version(nil), seen...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != v0 || got[1] != v1 {
+		t.Fatalf("persist notifications %v, want [%d %d]", got, v0, v1)
+	}
+
+	if err := s.Restore(v0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	n := len(seen)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("rollback fired a persist notification (%d total)", n)
+	}
+}
+
+// TestDeltaConcurrentWritersRecover hammers the dirty-bucket harvest: writer
+// goroutines upsert continuously while the main goroutine seals delta after
+// delta, so writes land in every phase of the seal (before the version
+// shift, during the drain, mid-scan after a bucket's stamp was cleared).
+// After a final quiesced seal, recovery must see the newest committed value
+// of every key — a record missed by a harvest would surface here as a stale
+// or missing key.
+func TestDeltaConcurrentWritersRecover(t *testing.T) {
+	dev := storage.NewNull()
+	cfg := Config{BucketCount: 1 << 6, Checkpoint: Snapshot, SnapshotFullEvery: 64}
+	s := NewStore(dev, cfg)
+
+	const writers = 4
+	const keysPerWriter = 32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for round := 0; !stop.Load(); round++ {
+				for k := 0; k < keysPerWriter; k++ {
+					key := []byte(fmt.Sprintf("w%d-k%02d", w, k))
+					val := []byte(fmt.Sprintf("r%08d", round))
+					if _, err := sess.Upsert(key, val); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	commitAll(t, s) // full snapshot under load
+	for i := 0; i < 20; i++ {
+		commitAll(t, s) // deltas racing the writers
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Final seal with writers quiesced: everything written is now in-window.
+	last := commitAll(t, s)
+
+	// Record the expected newest value of every key, then recover and compare.
+	sess := s.NewSession()
+	want := make(map[string]string)
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keysPerWriter; k++ {
+			key := fmt.Sprintf("w%d-k%02d", w, k)
+			want[key] = string(mustRead(t, sess, key))
+		}
+	}
+	sess.Close()
+	s.Close()
+
+	r, err := Recover(dev, cfg, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.NewSession()
+	defer rs.Close()
+	for key, val := range want {
+		if got := string(mustRead(t, rs, key)); got != val {
+			t.Fatalf("%s = %q after recovery, want %q", key, got, val)
+		}
+	}
+}

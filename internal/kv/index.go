@@ -29,6 +29,54 @@ type indexShard struct {
 	locks    []sync.Mutex
 	mask     uint64
 	lockMask uint64
+
+	// Dirty-bucket tracking for delta checkpoints. Every chain mutation
+	// marks its bucket (stamp + one append on the first touch per window),
+	// and writeDelta harvests the accumulated list instead of walking the
+	// whole bucket array — the scan that makes a delta seal O(dirty) rather
+	// than O(buckets), which is what lets the commit pump run every few ms.
+	// dirtyStamp[b] is only touched under bucket b's stripe lock (or by the
+	// single-goroutine-per-shard recovery rebuild); dirtyMu guards the list
+	// itself, which stripes share. Lock order: stripe lock < dirtyMu.
+	dirtyMu    sync.Mutex
+	dirty      []uint32
+	dirtySpare []uint32
+	dirtyStamp []uint8
+}
+
+// markDirty records bucket b as mutated since the last delta harvest. The
+// caller must hold b's stripe lock (the same condition as setHead).
+func (sh *indexShard) markDirty(b uint64) {
+	if sh.dirtyStamp[b] != 0 {
+		return
+	}
+	sh.dirtyStamp[b] = 1
+	sh.dirtyMu.Lock()
+	sh.dirty = append(sh.dirty, uint32(b))
+	sh.dirtyMu.Unlock()
+}
+
+// harvestDirty swaps out the accumulated dirty-bucket list. Stamps stay set;
+// the delta scan clears each bucket's stamp under its stripe lock as it
+// visits it, so writes racing the harvest are never lost (they either land
+// on the chain before the visit — and the scan re-marks the bucket when it
+// sees a record above its target — or they re-mark it themselves afterwards).
+func (sh *indexShard) harvestDirty() []uint32 {
+	sh.dirtyMu.Lock()
+	list := sh.dirty
+	sh.dirty = sh.dirtySpare[:0]
+	sh.dirtySpare = nil
+	sh.dirtyMu.Unlock()
+	return list
+}
+
+// recycleDirty returns a harvested list's backing array for reuse.
+func (sh *indexShard) recycleDirty(list []uint32) {
+	sh.dirtyMu.Lock()
+	if sh.dirtySpare == nil {
+		sh.dirtySpare = list[:0]
+	}
+	sh.dirtyMu.Unlock()
 }
 
 const nilAddress = int64(-1)
@@ -92,6 +140,7 @@ func newIndex(bucketCount, shardCount int) *index {
 		sh.locks = make([]sync.Mutex, nlocks)
 		sh.mask = uint64(perShard - 1)
 		sh.lockMask = uint64(nlocks - 1)
+		sh.dirtyStamp = make([]uint8, perShard)
 		for i := range sh.buckets {
 			sh.buckets[i].Store(nilAddress)
 		}
@@ -139,7 +188,10 @@ func (ix *index) head(handle uint64) int64 {
 
 // setHead publishes a new chain head. Callers must hold the stripe lock.
 func (ix *index) setHead(handle uint64, addr int64) {
-	ix.shard(handle).buckets[handle&handleBucketMask].Store(addr)
+	sh := ix.shard(handle)
+	b := handle & handleBucketMask
+	sh.markDirty(b)
+	sh.buckets[b].Store(addr)
 }
 
 // shardCount returns the number of index shards.
@@ -172,12 +224,20 @@ func (ix *index) forEachShard(fn func(shard int)) {
 	wg.Wait()
 }
 
-// reset clears every bucket (used by recovery before a rebuild scan).
+// reset clears every bucket (used by recovery before a rebuild scan). Dirty
+// tracking resets with it: the rebuild re-marks every live bucket through
+// setHead, so the first delta after a recovery scans the full live set.
 func (ix *index) reset() {
 	for si := range ix.shards {
 		sh := &ix.shards[si]
 		for i := range sh.buckets {
 			sh.buckets[i].Store(nilAddress)
+		}
+		sh.dirtyMu.Lock()
+		sh.dirty = sh.dirty[:0]
+		sh.dirtyMu.Unlock()
+		for i := range sh.dirtyStamp {
+			sh.dirtyStamp[i] = 0
 		}
 	}
 }

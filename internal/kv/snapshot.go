@@ -109,35 +109,61 @@ func (s *Store) writeSnapshot(target core.Version, ranges []versionRange) error 
 }
 
 // RecoverSnapshot reconstructs a store from a snapshot checkpoint at exactly
-// the given version.
+// the given version. If the checkpoint at v is a delta, the base chain is
+// loaded down to the nearest full snapshot and applied bottom-up.
 func RecoverSnapshot(device storage.Device, cfg Config, v core.Version) (*Store, error) {
 	if cfg.Blob == "" {
 		cfg.Blob = "hlog"
 	}
-	blob := snapBlobName(v)
-	size := device.BlobSize(blob)
-	if size < 8 {
-		return nil, fmt.Errorf("kv: snapshot %d missing", v)
-	}
-	raw, err := device.Read(blob, 0, int(size))
+	chain, err := snapshotChain(device, v)
 	if err != nil {
 		return nil, err
 	}
+	// Visibility filter for delta layers, from the recovered checkpoint's
+	// metadata when present. Full snapshots and deltas already exclude
+	// rolled-back records at write time (and a rollback forces the next
+	// checkpoint to restart the chain with a full snapshot), so this is
+	// defense in depth, not load-bearing.
+	var ranges []versionRange
+	if meta, err := readCheckpointMeta(device, cfg.Blob, v); err == nil {
+		ranges = meta.Ranges
+	}
 	s := NewStore(device, cfg)
+	for _, layer := range chain {
+		if layer.delta {
+			err = s.applyDelta(layer.raw, ranges)
+		} else {
+			err = s.applyFullSnapshot(layer.raw)
+		}
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	s.persisted.Store(uint64(v))
+	s.st.Store(uint64(makeState(PhaseRest, v+1)))
+	s.maxRequestedCkpt.Store(uint64(v))
+	// The recovered chain ends at v, so the next delta (base v) only needs
+	// records allocated from here on.
+	s.snapLowWater = s.log.tail.Load()
+	s.snapForceFull = false
+	return s, nil
+}
+
+// applyFullSnapshot replays a full snapshot blob into a recovering store.
+func (s *Store) applyFullSnapshot(raw []byte) error {
 	n := binary.LittleEndian.Uint64(raw)
 	off := 8
 	for i := uint64(0); i < n; i++ {
 		if off+16 > len(raw) {
-			s.Close()
-			return nil, errors.New("kv: truncated snapshot")
+			return errors.New("kv: truncated snapshot")
 		}
 		kl := int(binary.LittleEndian.Uint32(raw[off:]))
 		vl := int(binary.LittleEndian.Uint32(raw[off+4:]))
 		ver := binary.LittleEndian.Uint64(raw[off+8:])
 		off += 16
 		if off+kl+vl > len(raw) {
-			s.Close()
-			return nil, errors.New("kv: truncated snapshot")
+			return errors.New("kv: truncated snapshot")
 		}
 		key := raw[off : off+kl]
 		val := raw[off+kl : off+kl+vl]
@@ -146,8 +172,5 @@ func RecoverSnapshot(device storage.Device, cfg Config, v core.Version) (*Store,
 		rec := s.log.writeRecord(s.index.head(b), ver, false, key, val, 0)
 		s.index.setHead(b, rec.addr)
 	}
-	s.persisted.Store(uint64(v))
-	s.st.Store(uint64(makeState(PhaseRest, v+1)))
-	s.maxRequestedCkpt.Store(uint64(v))
-	return s, nil
+	return nil
 }

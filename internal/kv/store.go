@@ -87,6 +87,15 @@ type Config struct {
 	Blob string
 	// Checkpoint selects the checkpoint strategy (default FoldOver).
 	Checkpoint CheckpointKind
+	// SnapshotFullEvery, in Snapshot mode, writes a full snapshot only on
+	// every Nth checkpoint and an incremental delta in between: just the
+	// records written since the previous checkpoint, found by walking bucket
+	// chains no deeper than the previous checkpoint's log boundary. A
+	// steady-state checkpoint then costs O(dirty) instead of O(live) and can
+	// run every few milliseconds. <= 1 writes a full snapshot every time
+	// (the prior behavior). FoldOver ignores it: fold-over flushes are
+	// already incremental.
+	SnapshotFullEvery int
 	// CompactAt triggers automatic log compaction after a checkpoint once
 	// the live log exceeds this many bytes (0 disables auto-compaction).
 	CompactAt int64
@@ -118,6 +127,19 @@ type Store struct {
 	// ckptRunning marks an in-flight checkpoint state machine.
 	ckptRunning atomic.Bool
 
+	// Snapshot-mode delta bookkeeping, guarded by smMu. snapLowWater is the
+	// log tail captured just before the previous successful checkpoint's
+	// version shift: every record stamped with a later version is allocated
+	// at or above it, so it bounds the next delta's bucket-chain walks.
+	// snapSinceFull counts deltas since the last full snapshot;
+	// snapForceFull makes the next checkpoint write a full snapshot — set
+	// initially (a fresh or fold-over-recovered store has no chain to extend)
+	// and by Restore (a rollback regresses the persisted version below any
+	// delta base); cleared by a full snapshot or a snapshot-chain recovery.
+	snapLowWater  int64
+	snapSinceFull int
+	snapForceFull bool
+
 	pendingCh chan func()
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -129,6 +151,12 @@ type Store struct {
 	// store's only stall-like primitive); the serving layer wires it to a
 	// metrics histogram without kv importing the obs package.
 	drainObs atomic.Pointer[func(time.Duration)]
+	// persistObs, when set, observes every advance of the persisted version
+	// the moment a checkpoint seals — the event-driven commit plane's
+	// trigger. The libDPR worker wires it to its persistence-report pump
+	// without kv importing that package. Rollbacks regress the persisted
+	// version without firing it.
+	persistObs atomic.Pointer[func(core.Version)]
 
 	// stats
 	checkpointCount atomic.Uint64
@@ -154,6 +182,7 @@ func NewStore(device storage.Device, cfg Config) *Store {
 	}
 	empty := []versionRange{}
 	s.rolledBack.Store(&empty)
+	s.snapForceFull = true
 	s.st.Store(uint64(makeState(PhaseRest, 1)))
 	for i := 0; i < cfg.PendingWorkers; i++ {
 		s.wg.Add(1)
@@ -235,10 +264,35 @@ func (s *Store) OnDrain(fn func(time.Duration)) {
 	s.drainObs.Store(&fn)
 }
 
+// OnPersist installs an observer called with the new persisted version each
+// time a checkpoint seals. Pass nil to remove. The callback runs on the
+// checkpoint goroutine with the state-machine mutex held, so it must not
+// block and must not call back into the store; typical use is a non-blocking
+// channel send that wakes a persistence-report pump.
+func (s *Store) OnPersist(fn func(core.Version)) {
+	if fn == nil {
+		s.persistObs.Store(nil)
+		return
+	}
+	s.persistObs.Store(&fn)
+}
+
+func (s *Store) notifyPersist(v core.Version) {
+	if f := s.persistObs.Load(); f != nil {
+		(*f)(v)
+	}
+}
+
 // BeginCommit implements core.StateObject: it starts a non-blocking
 // checkpoint capturing all operations in versions <= v and returns
 // immediately; PersistedVersion advances asynchronously when the flush
 // completes. Operations continue executing (in version >= v+1) throughout.
+//
+// Commits are group-committed: concurrent requests fold into
+// maxRequestedCkpt and at most one checkpoint state machine runs at a time
+// (single flight), so N overlapping BeginCommit calls cost one batched
+// write+sync covering all of them — the requester of version v learns v is
+// durable when the coalesced checkpoint's PersistedVersion (>= v) lands.
 func (s *Store) BeginCommit(v core.Version) error {
 	select {
 	case <-s.closed:
@@ -297,6 +351,11 @@ func (s *Store) runCheckpoint() core.Version {
 	if cur := s.loadState().version(); target < cur {
 		target = cur
 	}
+	// Low-water capture, before the version shift: any record stamped with a
+	// version above target is allocated after this load, so its address is at
+	// or above lowWater. The next delta checkpoint's bucket-chain walks stop
+	// there instead of descending through the whole live set.
+	lowWater := s.log.tail.Load()
 	// IN_PROGRESS: operations shift to version target+1. Records written in
 	// versions <= target are frozen for in-place updates once their writers
 	// drain.
@@ -304,10 +363,22 @@ func (s *Store) runCheckpoint() core.Version {
 	s.waitDrain()
 
 	if s.cfg.Checkpoint == Snapshot {
-		// Snapshot checkpoint: serialize the live set at <= target. The
-		// drain above froze those records; the scan locks each bucket.
+		// Snapshot checkpoint: serialize the records at <= target — all of
+		// them (full snapshot), or just those above the previous checkpoint's
+		// base (delta). The drain above froze those records; both scans lock
+		// each bucket.
 		s.st.Store(uint64(makeState(PhaseWaitFlush, target+1)))
-		if err := s.writeSnapshot(target, s.RolledBackRanges()); err != nil {
+		ranges := s.RolledBackRanges()
+		base := core.Version(s.persisted.Load())
+		delta := s.cfg.SnapshotFullEvery > 1 && !s.snapForceFull && base > 0 &&
+			s.snapSinceFull+1 < s.cfg.SnapshotFullEvery
+		var err error
+		if delta {
+			err = s.writeDelta(target, base, s.snapLowWater, ranges)
+		} else {
+			err = s.writeSnapshot(target, ranges)
+		}
+		if err != nil {
 			s.st.Store(uint64(makeState(PhaseRest, target+1)))
 			return target
 		}
@@ -315,9 +386,17 @@ func (s *Store) runCheckpoint() core.Version {
 			s.st.Store(uint64(makeState(PhaseRest, target+1)))
 			return target
 		}
+		if delta {
+			s.snapSinceFull++
+		} else {
+			s.snapSinceFull = 0
+			s.snapForceFull = false
+		}
+		s.snapLowWater = lowWater
 		s.persisted.Store(uint64(target))
 		s.checkpointCount.Add(1)
 		s.st.Store(uint64(makeState(PhaseRest, target+1)))
+		s.notifyPersist(target)
 		return target
 	}
 
@@ -350,6 +429,7 @@ func (s *Store) runCheckpoint() core.Version {
 	s.persisted.Store(uint64(target))
 	s.checkpointCount.Add(1)
 	s.st.Store(uint64(makeState(PhaseRest, target+1)))
+	s.notifyPersist(target)
 
 	s.maybeEvict()
 	s.maybeCompactLocked()
@@ -412,6 +492,10 @@ func (s *Store) Restore(v core.Version) error {
 	if p := core.Version(s.persisted.Load()); p > v {
 		s.persisted.Store(uint64(v))
 	}
+	// The rollback regressed the persisted version below any delta base and
+	// invalidated records that durable deltas may contain: start a fresh
+	// snapshot chain.
+	s.snapForceFull = true
 	s.rollbackCount.Add(1)
 	return nil
 }
@@ -585,10 +669,12 @@ func Recover(device storage.Device, cfg Config, v core.Version) (*Store, error) 
 	}
 	if meta.Kind == Snapshot {
 		// Snapshot checkpoints recover at a checkpointed version: use the
-		// newest snapshot at or below v. (Fold-over supports arbitrary
-		// positions; this is the documented trade-off of snapshot mode.)
+		// newest snapshot or delta at or below v. (Fold-over supports
+		// arbitrary positions; this is the documented trade-off of snapshot
+		// mode.)
 		for ver := v; ver > 0; ver-- {
-			if device.BlobSize(snapBlobName(ver)) >= 8 {
+			if device.BlobSize(snapBlobName(ver)) >= 8 ||
+				device.BlobSize(deltaBlobName(ver)) >= deltaHeaderSize {
 				return RecoverSnapshot(device, cfg, ver)
 			}
 			if v-ver > 1024 {

@@ -312,6 +312,38 @@ func (s *Session) RefreshCommit() (uint64, error) {
 	return p, nil
 }
 
+// ObserveCut folds an unsolicited cut observation — a pushed
+// wire.FrameCutAdvance, delivered to an idle session without a batch reply to
+// piggyback on — into the committed prefix. It mirrors CompleteBatch's cut
+// handling: world-line changes run the failure path, the prefix stays frozen
+// while a SurvivalError is unacknowledged, and the lastCut cache updates so a
+// later reply carrying the same cut skips its prefix scan. cut is not
+// retained; callers may reuse the map (connection read loops decode pushes
+// into a held wire.CutAdvance).
+func (s *Session) ObserveCut(wl core.WorldLine, cut core.Cut) error {
+	if wl > s.tracker.WorldLine() {
+		if err := s.handleFailure(wl); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	if f := s.failure; f != nil {
+		s.mu.Unlock()
+		return f
+	}
+	changed := wl != s.lastCutWL || !s.lastCut.Equal(cut)
+	if changed {
+		s.lastCut = cut.Clone()
+		s.lastCutWL = wl
+	}
+	s.mu.Unlock()
+	if changed {
+		p, _ := s.tracker.AdvanceCommitted(wl, cut)
+		s.resolveProbe(p)
+	}
+	return nil
+}
+
 // WaitCommit blocks until the session's committed prefix reaches seq, a
 // failure intervenes, or the timeout expires — the paper's "sessions may
 // wait for commit at any time" group-commit affordance (§2).

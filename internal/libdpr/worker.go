@@ -30,6 +30,17 @@ type StateObject interface {
 	CurrentVersion() core.Version
 }
 
+// PersistNotifier is the optional StateObject extension behind the push-based
+// commit plane: the store invokes the registered function every time a
+// checkpoint seals (its persisted version advances), from its own checkpoint
+// goroutine, possibly holding internal locks. The worker's handler therefore
+// only pokes a saturating channel and never blocks or re-enters the store.
+// State objects without this interface are reported on the RefreshInterval
+// heartbeat only, exactly the pre-push behavior.
+type PersistNotifier interface {
+	OnPersist(func(core.Version))
+}
+
 // BatchHeader is the DPR header prepended to every request batch (§6:
 // "Messages are serialized into batches, enhanced with a DPR-specific
 // header").
@@ -75,12 +86,36 @@ type WorkerConfig struct {
 	// Addr is advertised in the membership table.
 	Addr string
 	// CheckpointInterval is the periodic Commit() cadence (the paper uses
-	// 100ms by default in its evaluation). <= 0 disables the timer (commits
-	// must then be triggered manually or by version fast-forward).
+	// 100ms by default in its evaluation). With the commit pump enabled
+	// (see MinCommitInterval) the timer is a heartbeat behind the pump,
+	// catching work the dirty signal cannot see (e.g. Vmax catch-up on an
+	// idle worker, §3.4). <= 0 disables both the timer and the pump
+	// (commits must then be triggered manually or by version fast-forward).
 	CheckpointInterval time.Duration
-	// RefreshInterval is the finder polling cadence (cut, Vmax,
-	// world-line). Defaults to CheckpointInterval/2 or 50ms.
+	// RefreshInterval is the finder polling cadence (cut, Vmax, world-line)
+	// when no event-driven path is available, and the heartbeat behind the
+	// push paths when they are. It is coupled to CheckpointInterval: the
+	// default is CheckpointInterval/2, because the refresh must outpace the
+	// checkpoint timer or every commit sits persisted-but-unobserved for up
+	// to a full extra interval before the worker's cut view (and therefore
+	// client-visible commit latency) catches up; with no checkpoint timer
+	// the default is 50ms. Lowering CheckpointInterval without setting
+	// RefreshInterval tightens both cadences together; explicitly raising
+	// RefreshInterval above CheckpointInterval reintroduces the stale-cut
+	// wait the default ratio exists to avoid. The effective values after
+	// default resolution are surfaced in /debug/dpr
+	// (checkpoint_interval_ms / refresh_interval_ms).
 	RefreshInterval time.Duration
+	// MinCommitInterval rate-limits the dirty-driven commit pump. When a
+	// batch executes, the pump triggers a commit as soon as the previous
+	// one is at least this old, instead of waiting for the
+	// CheckpointInterval timer — with O(dirty) delta checkpoints underneath
+	// a millisecond cadence is affordable, and commit latency drops from
+	// O(CheckpointInterval) to O(MinCommitInterval + device sync). 0
+	// selects the default (2ms); < 0 disables the pump, restoring the
+	// purely periodic behavior. The pump only runs when CheckpointInterval
+	// > 0 (manual-commit workers stay manual).
+	MinCommitInterval time.Duration
 	// AdmitTimeout bounds how long a batch from a future world-line waits
 	// for local recovery. Default 5s.
 	AdmitTimeout time.Duration
@@ -130,6 +165,33 @@ type Worker struct {
 	// world-line with another world-line's cut — a client session could
 	// commit erased operations whose tokens merely collide numerically.
 	cutSnap atomic.Pointer[cutSnapshot]
+
+	// dirty + dirtyCh drive the commit pump: ReleaseBatch marks the worker
+	// dirty after an executed batch (one atomic on the hot path; the
+	// channel send only happens on the false→true edge) and commitPump
+	// folds marks into MinCommitInterval-spaced TriggerCommit calls.
+	// persistCh carries checkpoint-seal notifications from the state
+	// object (registered through the optional PersistNotifier interface)
+	// to the maintenance loop, which reports the new version to the finder
+	// immediately instead of on the next tick. Both channels have capacity
+	// 1 and saturate; the signals are level-triggered.
+	dirty     atomic.Bool
+	pumping   bool
+	dirtyCh   chan struct{}
+	persistCh chan struct{}
+	// watching records that the metadata service implements StateWatcher
+	// and the long-poll watch loop is streaming cut changes; the persist
+	// handler then skips its own refresh (the report bumps the finder
+	// generation, which wakes the watch loop).
+	watching bool
+
+	// cutObs, when set, is invoked from refreshState whenever the
+	// piggybackable cut snapshot changes (new world-line or different cut),
+	// with the originating world-line and the pre-encoded cut bytes. The
+	// serving layer uses it to push unsolicited cut-advance frames to idle
+	// sessions. Runs on the maintenance/watch goroutine: keep it fast and
+	// never call back into the worker.
+	cutObs atomic.Pointer[func(core.WorldLine, []byte)]
 
 	// lastDep caches the most recent (version, dependency) recorded so the
 	// hot path skips the deps mutex when a session hammers one worker with
@@ -225,6 +287,9 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 			cfg.RefreshInterval = 50 * time.Millisecond
 		}
 	}
+	if cfg.MinCommitInterval == 0 {
+		cfg.MinCommitInterval = 2 * time.Millisecond
+	}
 	if err := meta.RegisterWorker(cfg.ID, cfg.Addr); err != nil {
 		return nil, err
 	}
@@ -233,16 +298,21 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 		return nil, err
 	}
 	w := &Worker{
-		cfg:      cfg,
-		so:       so,
-		meta:     meta,
-		wl:       core.NewWorldLineTracker(wl),
-		deps:     make(map[core.Version]map[core.Token]struct{}),
-		cut:      make(core.Cut),
-		exec:     epoch.NewTable(),
-		archived: make(map[uint64]gateRec),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		so:        so,
+		meta:      meta,
+		wl:        core.NewWorldLineTracker(wl),
+		deps:      make(map[core.Version]map[core.Token]struct{}),
+		cut:       make(core.Cut),
+		exec:      epoch.NewTable(),
+		archived:  make(map[uint64]gateRec),
+		dirtyCh:   make(chan struct{}, 1),
+		persistCh: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
 	}
+	w.pumping = cfg.CheckpointInterval > 0 && cfg.MinCommitInterval > 0
+	sw, watching := meta.(metadata.StateWatcher)
+	w.watching = watching
 	snap := &cutSnapshot{wl: wl, cut: make(core.Cut)}
 	if cfg.EncodeCut != nil {
 		snap.encoded = cfg.EncodeCut(snap.cut)
@@ -250,8 +320,26 @@ func NewWorker(cfg WorkerConfig, so StateObject, meta metadata.Service) (*Worker
 	w.cutSnap.Store(snap)
 	w.reported = so.PersistedVersion()
 	w.registerObs()
+	if pn, ok := so.(PersistNotifier); ok {
+		// Runs on the store's checkpoint goroutine: hand off through the
+		// saturating channel, never block or call back into the store.
+		pn.OnPersist(func(core.Version) {
+			select {
+			case w.persistCh <- struct{}{}:
+			default:
+			}
+		})
+	}
 	w.wg.Add(1)
 	go w.maintenanceLoop()
+	if w.pumping {
+		w.wg.Add(1)
+		go w.commitPump()
+	}
+	if watching {
+		w.wg.Add(1)
+		go w.watchLoop(sw)
+	}
 	return w, nil
 }
 
@@ -345,22 +433,30 @@ func (w *Worker) DebugState(kind string) obs.DPRState {
 		}
 		cutJSON[strconv.FormatUint(uint64(id), 10)] = uint64(v)
 	}
+	var minCommit time.Duration
+	if w.pumping {
+		minCommit = w.cfg.MinCommitInterval
+	}
 	return obs.DPRState{
-		Worker:            uint64(w.cfg.ID),
-		Kind:              kind,
-		WorldLine:         uint64(w.wl.Current()),
-		CurrentVersion:    uint64(w.so.CurrentVersion()),
-		PersistedVersion:  uint64(w.so.PersistedVersion()),
-		CommittedVersion:  uint64(self),
-		CutMax:            uint64(max),
-		CutLag:            uint64(max - self),
-		Cut:               cutJSON,
-		Sessions:          w.sessionCount(),
-		Rollbacks:         w.rollbacksC.Value(),
-		RejectedBatches:   w.rejectedC.Value(),
-		StaleBatches:      w.staleC.Value(),
-		RefreshAgeSeconds: time.Since(time.Unix(0, w.refreshedAt.Load())).Seconds(),
-		Trace:             w.trace.Snapshot(),
+		Worker:               uint64(w.cfg.ID),
+		Kind:                 kind,
+		CheckpointIntervalMS: float64(w.cfg.CheckpointInterval) / float64(time.Millisecond),
+		RefreshIntervalMS:    float64(w.cfg.RefreshInterval) / float64(time.Millisecond),
+		MinCommitIntervalMS:  float64(minCommit) / float64(time.Millisecond),
+		MetaWatch:            w.watching,
+		WorldLine:            uint64(w.wl.Current()),
+		CurrentVersion:       uint64(w.so.CurrentVersion()),
+		PersistedVersion:     uint64(w.so.PersistedVersion()),
+		CommittedVersion:     uint64(self),
+		CutMax:               uint64(max),
+		CutLag:               uint64(max - self),
+		Cut:                  cutJSON,
+		Sessions:             w.sessionCount(),
+		Rollbacks:            w.rollbacksC.Value(),
+		RejectedBatches:      w.rejectedC.Value(),
+		StaleBatches:         w.staleC.Value(),
+		RefreshAgeSeconds:    time.Since(time.Unix(0, w.refreshedAt.Load())).Seconds(),
+		Trace:                w.trace.Snapshot(),
 	}
 }
 
@@ -577,6 +673,9 @@ func (w *Worker) AdmitBatchGuarded(h BatchHeader, lane *ExecLane) (core.WorldLin
 }
 
 // ReleaseBatch ends the execution pinned by a successful AdmitBatchGuarded.
+// An executed batch marks the worker dirty, arming the commit pump: the next
+// group commit starts as soon as MinCommitInterval allows, not on the next
+// CheckpointInterval tick.
 func (w *Worker) ReleaseBatch(h BatchHeader, lane *ExecLane, executed bool) {
 	g := w.gate(h.SessionID)
 	if executed {
@@ -586,6 +685,14 @@ func (w *Worker) ReleaseBatch(h BatchHeader, lane *ExecLane, executed bool) {
 	}
 	g.mu.Unlock()
 	lane.slot.Exit()
+	if executed && w.pumping && !w.dirty.Swap(true) {
+		// False→true edge: wake the pump. The channel saturates at one
+		// token, so the steady-state hot-path cost is the Swap alone.
+		select {
+		case w.dirtyCh <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // cutSnapshot is an immutable (world-line, cut, pre-encoded cut) triple. It
@@ -802,7 +909,12 @@ func (w *Worker) Stop() {
 
 // maintenanceLoop runs the periodic work: trigger checkpoints, report
 // persisted versions (with their dependency sets) to the finder, and refresh
-// the cached cut/Vmax/world-line.
+// the cached cut/Vmax/world-line. With the event-driven paths active (commit
+// pump, persist notifications, metadata watch) the tickers are pure
+// heartbeats — they catch whatever the push signals cannot see (Vmax
+// catch-up on idle workers, a dropped notification, a store without
+// PersistNotifier) — and the persistCh case carries the latency-critical
+// seal→report hop.
 func (w *Worker) maintenanceLoop() {
 	defer w.wg.Done()
 	var ckptC <-chan time.Time
@@ -820,12 +932,86 @@ func (w *Worker) maintenanceLoop() {
 		case <-ckptC:
 			_ = w.TriggerCommit()
 			w.reportPersisted()
+		case <-w.persistCh:
+			// A checkpoint just sealed: report it now. The report bumps the
+			// finder generation; when the watch loop is streaming, it takes
+			// over from there, otherwise refresh the cut view directly so
+			// commit visibility does not wait for the next heartbeat.
+			w.reportPersisted()
+			if !w.watching {
+				w.refreshState()
+			}
 		case <-refresh.C:
 			w.reportPersisted()
 			w.refreshState()
 			if era := w.gateEra.Add(1); era%uint64(w.cfg.GateIdleIntervals) == 0 {
 				w.sweepGates(era)
 			}
+		}
+	}
+}
+
+// commitPump converts dirty marks into MinCommitInterval-spaced group
+// commits. TriggerCommit folds into the store's single-flight checkpoint
+// machine, so a pump tick that lands while a checkpoint is in flight extends
+// the requested target instead of queueing a second device write.
+func (w *Worker) commitPump() {
+	defer w.wg.Done()
+	var last time.Time
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.dirtyCh:
+		}
+		if wait := w.cfg.MinCommitInterval - time.Since(last); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-w.stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		// Clear dirty before committing: work arriving mid-commit re-arms
+		// the pump for another round instead of being lost.
+		w.dirty.Store(false)
+		_ = w.TriggerCommit()
+		last = time.Now()
+	}
+}
+
+// watchLoopPollTimeout bounds each long-poll leg so Stop() joins promptly
+// and a silently dead finder connection degrades to heartbeat cadence.
+const watchLoopPollTimeout = 250 * time.Millisecond
+
+// watchLoop long-polls the finder for state-generation changes and refreshes
+// the cut view the moment one lands — the streamed replacement for learning
+// about cut advances on the RefreshInterval poll. A timeout with an
+// unchanged generation is the idle heartbeat, not an error; on RPC errors
+// the loop backs off one poll interval and the maintenance ticker carries
+// the refresh in the meantime.
+func (w *Worker) watchLoop(sw metadata.StateWatcher) {
+	defer w.wg.Done()
+	var since uint64
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		gen, err := sw.WaitStateChange(since, watchLoopPollTimeout)
+		if err != nil {
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(watchLoopPollTimeout):
+			}
+			continue
+		}
+		if gen != since {
+			since = gen
+			w.refreshState()
 		}
 	}
 }
@@ -904,5 +1090,25 @@ func (w *Worker) refreshState() {
 	if w.cfg.EncodeCut != nil {
 		snap.encoded = w.cfg.EncodeCut(snap.cut)
 	}
+	prev := w.cutSnap.Load()
 	w.cutSnap.Store(snap)
+	if f := w.cutObs.Load(); f != nil && (prev.wl != snap.wl || !prev.cut.Equal(snap.cut)) {
+		(*f)(snap.wl, snap.encoded)
+	}
+}
+
+// OnCutAdvance registers the streamed cut observer: fn is invoked from the
+// refresh path whenever the piggybackable cut snapshot changes, with the
+// world-line it was observed on and the pre-encoded cut bytes (nil when no
+// EncodeCut is configured). The serving layer pushes these to idle sessions
+// as unsolicited cut-advance frames, so a session that stops sending still
+// sees its writes commit. The encoded bytes are shared and immutable; fn
+// runs on a maintenance goroutine and must not block or call back into the
+// worker. nil unregisters.
+func (w *Worker) OnCutAdvance(fn func(core.WorldLine, []byte)) {
+	if fn == nil {
+		w.cutObs.Store(nil)
+		return
+	}
+	w.cutObs.Store(&fn)
 }

@@ -131,7 +131,7 @@ func (s *Store) BeginMigrate(partitions []uint64, from, to core.WorkerID) (uint6
 		s.migrations = make(map[uint64]Migration)
 	}
 	s.migrations[id] = m
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.persist()
 	return id, nil
 }
@@ -143,7 +143,7 @@ func (s *Store) CompleteMigrate(id uint64) error {
 	_, ok := s.migrations[id]
 	if ok {
 		delete(s.migrations, id)
-		s.gen.Add(1)
+		s.bumpLocked()
 	}
 	s.stateMu.Unlock()
 	if !ok {
@@ -160,7 +160,7 @@ func (s *Store) AbortMigrate(id uint64) (bool, error) {
 	_, ok := s.migrations[id]
 	if ok {
 		delete(s.migrations, id)
-		s.gen.Add(1)
+		s.bumpLocked()
 	}
 	s.stateMu.Unlock()
 	s.persist()

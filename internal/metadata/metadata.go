@@ -174,6 +174,9 @@ type Store struct {
 	// current and take no lock.
 	gen   atomic.Uint64
 	state atomic.Pointer[stateView]
+	// watch is closed and replaced under stateMu whenever gen advances,
+	// waking WaitStateChange long-polls.
+	watch chan struct{}
 
 	members     [memberStripes]memberStripe
 	memberCount atomic.Int64
@@ -201,6 +204,7 @@ func NewStore(cfg Config) *Store {
 		finder:    NewFinder(cfg.Finder),
 		recovered: make(map[core.WorldLine]core.Cut),
 		acked:     make(map[core.WorkerID]core.WorldLine),
+		watch:     make(chan struct{}),
 	}
 	for i := range s.members {
 		s.members[i].m = make(map[core.WorkerID]string)
@@ -322,6 +326,61 @@ func (s *Store) hasMember(w core.WorkerID) bool {
 	return ok
 }
 
+// bumpLocked advances the mutation generation and wakes every parked
+// WaitStateChange long-poll. Caller holds stateMu, which makes the
+// close-and-replace race-free: a waiter either sees the new generation on its
+// fast path or parks on a channel this close wakes.
+func (s *Store) bumpLocked() {
+	s.gen.Add(1)
+	close(s.watch)
+	s.watch = make(chan struct{})
+}
+
+// Generation returns the current mutation generation, the token
+// WaitStateChange long-polls against.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// WaitStateChange parks until the cut-bearing state has advanced past the
+// since generation, or the timeout elapses (timeout <= 0 waits indefinitely).
+// It returns the generation current at wake-up: equal to since means the
+// timeout fired with no change — the caller's heartbeat case, not an error.
+// This is the push half of the event-driven commit plane: workers long-poll
+// it instead of sleeping a RefreshInterval between State calls.
+func (s *Store) WaitStateChange(since uint64, timeout time.Duration) (uint64, error) {
+	if g := s.gen.Load(); g != since {
+		return g, nil
+	}
+	s.stateMu.Lock()
+	if g := s.gen.Load(); g != since {
+		s.stateMu.Unlock()
+		return g, nil
+	}
+	ch := s.watch
+	s.stateMu.Unlock()
+	if timeout <= 0 {
+		<-ch
+		return s.gen.Load(), nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+	return s.gen.Load(), nil
+}
+
+// StateWatcher is the optional push interface of a metadata service:
+// services that can wake a worker when the cut-bearing state changes
+// implement it, and the libDPR worker type-asserts for it to replace its
+// refresh poll with a long-poll (falling back to the RefreshInterval
+// heartbeat when absent). Implemented by *Store and the RPC client.
+type StateWatcher interface {
+	WaitStateChange(since uint64, timeout time.Duration) (uint64, error)
+}
+
+var _ StateWatcher = (*Store)(nil)
+
 // view returns the current state view, rebuilding it first if mutations have
 // landed since the last publish. The fast path (no change since last read)
 // is two atomic loads and no lock.
@@ -370,7 +429,7 @@ func (s *Store) RegisterWorker(w core.WorkerID, addr string) error {
 	st.mu.Unlock()
 	s.stateMu.Lock()
 	s.finder.AddWorker(w)
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.stateMu.Unlock()
 	s.persist()
 	return nil
@@ -397,7 +456,7 @@ func (s *Store) DeregisterWorker(w core.WorkerID) error {
 	st.mu.Unlock()
 	s.stateMu.Lock()
 	s.finder.RemoveWorker(w)
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.stateMu.Unlock()
 	s.persist()
 	return nil
@@ -411,7 +470,7 @@ func (s *Store) ReportVersion(w core.WorkerID, v core.Version, deps []core.Token
 	}
 	s.stateMu.Lock()
 	s.finder.Report(w, v, deps)
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.stateMu.Unlock()
 	s.persist()
 	s.reportsC.Inc()
@@ -547,7 +606,7 @@ func (s *Store) BeginRecovery() (core.WorldLine, core.Cut) {
 	// Dropping them here makes CompleteMigrate fail and the coordinator
 	// abort (the donor keeps ownership — SetOwner never flipped).
 	clear(s.migrations)
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.publishLocked()
 	s.persist()
 	s.recoveriesC.Inc()
@@ -569,7 +628,7 @@ func (s *Store) CompleteRecovery() {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	s.frozen = false
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.publishLocked()
 	s.persist()
 	s.trace.Record(obs.EvRecoveryEnd, uint64(s.worldLine), 0, 0)
@@ -589,7 +648,7 @@ func (s *Store) CompleteRecoveryFor(wl core.WorldLine) {
 		return
 	}
 	s.frozen = false
-	s.gen.Add(1)
+	s.bumpLocked()
 	s.publishLocked()
 	s.persist()
 	s.trace.Record(obs.EvRecoveryEnd, uint64(wl), 0, 0)

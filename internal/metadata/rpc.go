@@ -78,9 +78,20 @@ type (
 	AbortReply struct{ Removed bool }
 	// MigrationsReply lists the in-flight migrations.
 	MigrationsReply struct{ Migrations []Migration }
+	// WaitStateArgs long-polls for a cut-state change past SinceGen.
+	WaitStateArgs struct {
+		SinceGen  uint64
+		TimeoutMS int64
+	}
+	// WaitStateReply carries the generation current at wake-up.
+	WaitStateReply struct{ Gen uint64 }
 	// Empty is the empty reply.
 	Empty struct{}
 )
+
+// maxWaitStateTimeout caps how long one WaitState RPC may park server-side,
+// bounding the lifetime of call goroutines stranded by a dead connection.
+const maxWaitStateTimeout = 30 * time.Second
 
 // RPCService adapts a Store to net/rpc.
 type RPCService struct {
@@ -165,6 +176,22 @@ func (s *RPCService) State(_ *Empty, reply *StateReply) error {
 		return err
 	}
 	reply.Cut, reply.Vmax, reply.WorldLine = cut, vmax, wl
+	return nil
+}
+
+// WaitState is the RPC for Store.WaitStateChange. net/rpc multiplexes
+// concurrent calls on one connection, so a parked WaitState never blocks a
+// worker's other RPCs (reports, acks) on the same conn.
+func (s *RPCService) WaitState(args *WaitStateArgs, reply *WaitStateReply) error {
+	timeout := time.Duration(args.TimeoutMS) * time.Millisecond
+	if timeout <= 0 || timeout > maxWaitStateTimeout {
+		timeout = maxWaitStateTimeout
+	}
+	gen, err := s.store.WaitStateChange(args.SinceGen, timeout)
+	if err != nil {
+		return err
+	}
+	reply.Gen = gen
 	return nil
 }
 
@@ -389,6 +416,32 @@ func (c *RPCClient) State() (core.Cut, core.Version, core.WorldLine, error) {
 	return reply.Cut, reply.Vmax, reply.WorldLine, nil
 }
 
+// WaitStateChange implements StateWatcher over the wire. Deliberately not
+// routed through call(): the round trip is dominated by the server-side park,
+// which would drown the metaRTT histogram's real signal.
+func (c *RPCClient) WaitStateChange(since uint64, timeout time.Duration) (uint64, error) {
+	c.mu.Lock()
+	cl := c.c
+	c.mu.Unlock()
+	args := &WaitStateArgs{SinceGen: since, TimeoutMS: int64(timeout / time.Millisecond)}
+	var reply WaitStateReply
+	err := cl.Call("Metadata.WaitState", args, &reply)
+	if err == rpc.ErrShutdown {
+		nc, derr := rpc.Dial("tcp", c.addr)
+		if derr != nil {
+			return since, err
+		}
+		c.mu.Lock()
+		c.c = nc
+		c.mu.Unlock()
+		err = nc.Call("Metadata.WaitState", args, &reply)
+	}
+	if err != nil {
+		return since, err
+	}
+	return reply.Gen, nil
+}
+
 // Members implements Service.
 func (c *RPCClient) Members() (map[core.WorkerID]string, error) {
 	var reply MembersReply
@@ -479,3 +532,4 @@ func (c *RPCClient) Migrations() ([]Migration, error) {
 
 var _ Service = (*RPCClient)(nil)
 var _ ElasticService = (*RPCClient)(nil)
+var _ StateWatcher = (*RPCClient)(nil)

@@ -1,0 +1,117 @@
+package metadata
+
+import (
+	"testing"
+	"time"
+
+	"dpr/internal/core"
+)
+
+func TestWaitStateChangeWakesOnReport(t *testing.T) {
+	s := NewStore(Config{})
+	if err := s.RegisterWorker(1, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	gen := s.Generation()
+	woke := make(chan uint64, 1)
+	go func() {
+		g, err := s.WaitStateChange(gen, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		woke <- g
+	}()
+	// Give the waiter time to park, then mutate.
+	time.Sleep(10 * time.Millisecond)
+	if err := s.ReportVersion(1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-woke:
+		if g == gen {
+			t.Fatalf("woke with unchanged generation %d", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitStateChange did not wake on ReportVersion")
+	}
+}
+
+func TestWaitStateChangeTimeoutIsHeartbeat(t *testing.T) {
+	s := NewStore(Config{})
+	gen := s.Generation()
+	start := time.Now()
+	g, err := s.WaitStateChange(gen, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != gen {
+		t.Fatalf("generation advanced with no mutation: %d -> %d", gen, g)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("returned before the timeout with no change")
+	}
+}
+
+func TestWaitStateChangeFastPath(t *testing.T) {
+	s := NewStore(Config{})
+	if err := s.RegisterWorker(1, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	// since is stale: must return immediately, no park.
+	start := time.Now()
+	g, err := s.WaitStateChange(0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == 0 || time.Since(start) > time.Second {
+		t.Fatalf("fast path failed: gen %d after %v", g, time.Since(start))
+	}
+}
+
+func TestWaitStateRPC(t *testing.T) {
+	store := NewStore(Config{})
+	svc, ln, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.RegisterWorker(7, "w7"); err != nil {
+		t.Fatal(err)
+	}
+	gen := store.Generation()
+	woke := make(chan uint64, 1)
+	go func() {
+		g, err := client.WaitStateChange(gen, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+		}
+		woke <- g
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := client.ReportVersion(7, core.Version(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-woke:
+		if g == gen {
+			t.Fatalf("RPC long-poll woke with unchanged generation %d", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RPC WaitStateChange did not wake")
+	}
+
+	// Timeout heartbeat over the wire.
+	g, err := client.WaitStateChange(store.Generation(), 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != store.Generation() {
+		t.Fatalf("idle long-poll advanced generation to %d", g)
+	}
+}

@@ -34,6 +34,17 @@ type DPRState struct {
 	// Migrations lists the in-flight partition handovers (finder only).
 	Migrations []MigrationState `json:"migrations,omitempty"`
 
+	// CheckpointIntervalMS and RefreshIntervalMS are the worker's effective
+	// maintenance cadences after default resolution (RefreshInterval
+	// defaults to CheckpointInterval/2 — see libdpr.WorkerConfig);
+	// MinCommitIntervalMS is the commit pump's floor, 0 when the pump is
+	// disabled. MetaWatch reports whether cut changes stream in via the
+	// finder long-poll instead of the RefreshInterval poll alone.
+	CheckpointIntervalMS float64 `json:"checkpoint_interval_ms,omitempty"`
+	RefreshIntervalMS    float64 `json:"refresh_interval_ms,omitempty"`
+	MinCommitIntervalMS  float64 `json:"min_commit_interval_ms,omitempty"`
+	MetaWatch            bool    `json:"meta_watch,omitempty"`
+
 	Sessions        int    `json:"sessions,omitempty"`
 	OwnedPartitions int    `json:"owned_partitions,omitempty"`
 	Rollbacks       uint64 `json:"rollbacks,omitempty"`

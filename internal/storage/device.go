@@ -129,9 +129,21 @@ func (d *MemDevice) WriteAsync(blob string, offset int64, data []byte, done func
 		b := d.blobs[blob]
 		end := offset + int64(len(data))
 		if int64(len(b)) < end {
-			nb := make([]byte, end)
-			copy(nb, b)
-			b = nb
+			if int64(cap(b)) >= end {
+				b = b[:end]
+			} else {
+				// Grow with headroom: an append-heavy blob (the hybrid log,
+				// flushed every few ms by the commit pump) would otherwise be
+				// copied wholesale on every extension — quadratic in flush
+				// count.
+				ncap := int64(cap(b)) * 2
+				if ncap < end {
+					ncap = end
+				}
+				nb := make([]byte, end, ncap)
+				copy(nb, b)
+				b = nb
+			}
 		}
 		copy(b[offset:], data)
 		d.blobs[blob] = b

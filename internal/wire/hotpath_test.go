@@ -211,6 +211,57 @@ func TestEncodeDecodeZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("DecodeBatchReplyInto allocates %.1f/op, want 0", n)
 	}
+
+	cut := core.Cut{1: 9, 2: 7, 3: 5}
+	encodedCut := AppendCut(nil, cut)
+	cutPayload := AppendCutAdvance(nil, 2, cut)
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = AppendCutAdvance(scratch[:0], 2, cut)
+	}); n != 0 {
+		t.Fatalf("AppendCutAdvance allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = AppendCutAdvanceEncoded(scratch[:0], 2, encodedCut)
+	}); n != 0 {
+		t.Fatalf("AppendCutAdvanceEncoded allocates %.1f/op, want 0", n)
+	}
+	var cutOut CutAdvance
+	if n := testing.AllocsPerRun(100, func() {
+		if err := DecodeCutAdvanceInto(&cutOut, cutPayload); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecodeCutAdvanceInto allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestCutAdvanceRejects pins the cut-advance decode guards: truncation at
+// every offset, trailing garbage, and oversized entry counts must all error
+// without panicking or over-allocating.
+func TestCutAdvanceRejects(t *testing.T) {
+	full := AppendCutAdvance(nil, 4, core.Cut{1: 2, 3: 4})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeCutAdvance(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+	if _, err := DecodeCutAdvance(append(append([]byte{}, full...), 0xAA)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+	huge := appendU64(nil, 1)
+	huge = appendU32(huge, 1<<30) // count far beyond the payload
+	if _, err := DecodeCutAdvance(huge); err == nil {
+		t.Fatal("oversized cut count must be rejected before allocation")
+	}
+	// A failed decode into a reused value must not leave stale entries
+	// behind: the next push would otherwise merge two cuts.
+	var a CutAdvance
+	if err := DecodeCutAdvanceInto(&a, full); err != nil || len(a.Cut) != 2 {
+		t.Fatalf("valid decode: %v (%v)", err, a.Cut)
+	}
+	if err := DecodeCutAdvanceInto(&a, full[:len(full)-3]); err == nil || len(a.Cut) != 0 {
+		t.Fatalf("failed decode left stale cut entries: %v (%v)", err, a.Cut)
+	}
 }
 
 func TestFrameIOZeroAlloc(t *testing.T) {
